@@ -1,0 +1,457 @@
+// Package xtalksta is a crosstalk-aware static timing analyzer for
+// synchronous CMOS circuits — a from-scratch reproduction of
+// M. Ringe, T. Lindenkreuz, E. Barke, "Static Timing Analysis Taking
+// Crosstalk into Account", DATE 2000.
+//
+// The library computes an upper bound on the longest path delay of a
+// gate-level sequential circuit while modeling the delay impact of
+// capacitive coupling between adjacent wires. Five analyses are
+// provided (the paper's Tables 1–3 rows): ignoring coupling (BestCase),
+// the classical grounded-with-doubled-value treatment (StaticDoubled),
+// permanent active coupling with the paper's capacitive-divider model
+// (WorstCase), and the paper's two new algorithms (OneStep, Iterative)
+// that exploit per-line quiescent times to decide which neighbors can
+// actually switch opposite during a victim transition.
+//
+// Gate delays are computed at transistor level: table-based MOSFET
+// models solved per timing arc with Newton iteration, as in the paper's
+// §3. The full supporting stack — `.bench` netlists, synthetic
+// ISCAS89-class circuit generation, placement/routing/extraction, an
+// MNA transient simulator for golden validation — lives in internal
+// packages and is orchestrated through this facade.
+//
+// Quick start:
+//
+//	d, err := xtalksta.GeneratePreset(xtalksta.S35932, 0.05, xtalksta.Defaults())
+//	res, err := d.Analyze(xtalksta.AnalysisOptions{Mode: xtalksta.Iterative})
+//	fmt.Println(res.LongestPath, res.Endpoint.Net)
+package xtalksta
+
+import (
+	"fmt"
+	"io"
+
+	"xtalksta/internal/ccc"
+	"xtalksta/internal/circuitgen"
+	"xtalksta/internal/core"
+	"xtalksta/internal/coupling"
+	"xtalksta/internal/delaycalc"
+	"xtalksta/internal/device"
+	"xtalksta/internal/layout"
+	"xtalksta/internal/liberty"
+	"xtalksta/internal/netlist"
+	"xtalksta/internal/noise"
+	"xtalksta/internal/opt"
+	"xtalksta/internal/pathsim"
+	"xtalksta/internal/report"
+	"xtalksta/internal/spef"
+)
+
+// Mode selects one of the five analyses.
+type Mode = core.Mode
+
+// The analysis modes, in the paper's table order.
+const (
+	BestCase      = core.BestCase
+	StaticDoubled = core.StaticDoubled
+	WorstCase     = core.WorstCase
+	OneStep       = core.OneStep
+	Iterative     = core.Iterative
+)
+
+// Modes lists all analyses in table order.
+func Modes() []Mode { return core.Modes() }
+
+// AnalysisOptions is re-exported from the core engine.
+type AnalysisOptions = core.Options
+
+// AnalysisResult is re-exported from the core engine.
+type AnalysisResult = core.Result
+
+// PathStep is one hop of a reported critical path.
+type PathStep = core.PathStep
+
+// GoldenConfig tunes the golden (transistor-level, aggressor-aligned)
+// validation of a path.
+type GoldenConfig = pathsim.Config
+
+// GoldenOutcome is the golden validation result.
+type GoldenOutcome = pathsim.Outcome
+
+// Table is the paper-style result table.
+type Table = report.Table
+
+// Preset names one of the paper's benchmark circuits.
+type Preset = circuitgen.Preset
+
+// The three ISCAS89 circuits of the paper's evaluation.
+const (
+	S35932 = circuitgen.S35932Like
+	S38417 = circuitgen.S38417Like
+	S38584 = circuitgen.S38584Like
+)
+
+// BuildOptions configures design construction.
+type BuildOptions struct {
+	// Process parameters; zero value selects the 0.5 µm set used by the
+	// paper.
+	Process device.Process
+	// DeviceGridN is the device-table resolution (0 = default).
+	DeviceGridN int
+	// Layout tunes placement and routing.
+	Layout layout.Options
+	// Calc tunes the arc delay calculator.
+	Calc delaycalc.Options
+	// POCap is the primary-output pad load (default 30 fF).
+	POCap float64
+}
+
+// Defaults returns the standard 0.5 µm build options.
+func Defaults() BuildOptions {
+	return BuildOptions{Process: device.Generic05um(), POCap: 30e-15}
+}
+
+func (o BuildOptions) withDefaults() BuildOptions {
+	if o.Process.VDD == 0 {
+		o.Process = device.Generic05um()
+	}
+	if o.POCap == 0 {
+		o.POCap = 30e-15
+	}
+	return o
+}
+
+// Design is a lowered, placed, routed and extracted circuit bundled
+// with its delay calculator — everything an analysis needs.
+type Design struct {
+	Circuit *netlist.Circuit
+	Layout  *layout.Layout
+	Proc    device.Process
+	Sizing  ccc.Sizing
+	Lib     *device.Library
+	Calc    *delaycalc.Calculator
+	opts    BuildOptions
+}
+
+// FromCircuit lowers the circuit to the transistor-level primitive
+// library, places and routes it, extracts parasitics, and prepares the
+// delay calculator.
+func FromCircuit(c *netlist.Circuit, opts BuildOptions) (*Design, error) {
+	opts = opts.withDefaults()
+	if err := netlist.Lower(c); err != nil {
+		return nil, fmt.Errorf("xtalksta: lowering: %w", err)
+	}
+	p := opts.Process
+	siz := ccc.DefaultSizing(p)
+	l, err := layout.Build(c, opts.Layout)
+	if err != nil {
+		return nil, fmt.Errorf("xtalksta: layout: %w", err)
+	}
+	if err := l.Extract(p, ccc.PinCapFunc(c, p, siz), opts.POCap); err != nil {
+		return nil, fmt.Errorf("xtalksta: extraction: %w", err)
+	}
+	lib := device.NewLibrary(p, opts.DeviceGridN)
+	model, err := coupling.NewModel(p.VDD, p.VthModel)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{
+		Circuit: c,
+		Layout:  l,
+		Proc:    p,
+		Sizing:  siz,
+		Lib:     lib,
+		Calc:    delaycalc.New(lib, siz, model, opts.Calc),
+		opts:    opts,
+	}, nil
+}
+
+// FromExtracted wraps a circuit that already carries parasitics (for
+// example hand-annotated coupling scenarios) without placing or routing
+// it. The circuit must already be lowered to the primitive library.
+func FromExtracted(c *netlist.Circuit, opts BuildOptions) (*Design, error) {
+	opts = opts.withDefaults()
+	p := opts.Process
+	siz := ccc.DefaultSizing(p)
+	lib := device.NewLibrary(p, opts.DeviceGridN)
+	model, err := coupling.NewModel(p.VDD, p.VthModel)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{
+		Circuit: c,
+		Proc:    p,
+		Sizing:  siz,
+		Lib:     lib,
+		Calc:    delaycalc.New(lib, siz, model, opts.Calc),
+		opts:    opts,
+	}, nil
+}
+
+// FromBench parses an ISCAS89 `.bench` netlist and builds the design.
+func FromBench(name string, r io.Reader, opts BuildOptions) (*Design, error) {
+	c, err := netlist.ParseBench(name, r)
+	if err != nil {
+		return nil, err
+	}
+	return FromCircuit(c, opts)
+}
+
+// FromBenchAndSPEF parses a `.bench` netlist, lowers it, and annotates
+// parasitics from a SPEF-dialect file (see internal/spef) instead of
+// placing and routing — the hand-off flow a downstream user of a real
+// extractor would use.
+//
+// Note the file must describe the LOWERED netlist (the names `benchgen
+// -spef` writes), since lowering introduces internal nets.
+func FromBenchAndSPEF(name string, bench, parasitics io.Reader, opts BuildOptions) (*Design, error) {
+	c, err := netlist.ParseBench(name, bench)
+	if err != nil {
+		return nil, err
+	}
+	if err := netlist.Lower(c); err != nil {
+		return nil, fmt.Errorf("xtalksta: lowering: %w", err)
+	}
+	if err := spef.Read(parasitics, c); err != nil {
+		return nil, err
+	}
+	return FromExtracted(c, opts)
+}
+
+// WriteSPEF emits the design's extracted parasitics in the SPEF
+// dialect readable by FromBenchAndSPEF.
+func (d *Design) WriteSPEF(w io.Writer) error {
+	return spef.Write(w, d.Circuit)
+}
+
+// GeneratePreset builds one of the paper's benchmark circuits at the
+// given size scale (1.0 = the paper's cell counts).
+func GeneratePreset(preset Preset, scale float64, opts BuildOptions) (*Design, error) {
+	c, err := circuitgen.GeneratePreset(preset, scale)
+	if err != nil {
+		return nil, err
+	}
+	return FromCircuit(c, opts)
+}
+
+// Generate builds a custom synthetic circuit.
+func Generate(params circuitgen.Params, opts BuildOptions) (*Design, error) {
+	c, err := circuitgen.Generate(params)
+	if err != nil {
+		return nil, err
+	}
+	return FromCircuit(c, opts)
+}
+
+// Analyze runs one analysis mode.
+func (d *Design) Analyze(opts AnalysisOptions) (*AnalysisResult, error) {
+	if opts.POCap == 0 {
+		opts.POCap = d.opts.POCap
+	}
+	eng, err := core.NewEngine(d.Circuit, d.Calc, opts)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
+// AnalyzeAll runs all five analyses and returns them in table order.
+// The characterization cache is cleared before each mode so the
+// reported runtimes are standalone, as in the paper's tables.
+func (d *Design) AnalyzeAll() ([]*AnalysisResult, error) {
+	var out []*AnalysisResult
+	for _, m := range Modes() {
+		d.Calc.ClearCache()
+		res, err := d.Analyze(AnalysisOptions{Mode: m})
+		if err != nil {
+			return nil, fmt.Errorf("xtalksta: %s: %w", m, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// TimingReport is the per-endpoint slack view of one analysis.
+type TimingReport = core.TimingReport
+
+// Report runs an analysis and returns per-endpoint setup slacks against
+// the given clock period (classic report_timing).
+func (d *Design) Report(opts AnalysisOptions, clockPeriod float64) (*TimingReport, error) {
+	if opts.POCap == 0 {
+		opts.POCap = d.opts.POCap
+	}
+	eng, err := core.NewEngine(d.Circuit, d.Calc, opts)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Report(clockPeriod)
+}
+
+// LUTLibrary is a precharacterized NLDM-style timing library.
+type LUTLibrary = liberty.Library
+
+// LUTConfig drives precharacterization.
+type LUTConfig = liberty.Config
+
+// Precharacterize builds a lookup-table timing library from the
+// design's circuit-level calculator: every primitive arc is simulated
+// over a grid of slews, loads and coupling ratios once, after which
+// AnalyzeLUT runs the STA from interpolation alone.
+func (d *Design) Precharacterize(cfg LUTConfig) (*LUTLibrary, error) {
+	return liberty.Characterize(d.Circuit.Name, d.Calc, cfg)
+}
+
+// AnalyzeLUT runs an analysis using the precharacterized library, with
+// the circuit-level calculator as fallback for arcs the LUT does not
+// cover (clock buffers, π-model wires).
+func (d *Design) AnalyzeLUT(lut *LUTLibrary, opts AnalysisOptions) (*AnalysisResult, error) {
+	if opts.POCap == 0 {
+		opts.POCap = d.opts.POCap
+	}
+	eng, err := core.NewEngine(d.Circuit, &liberty.Fallback{Primary: lut, Secondary: d.Calc}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
+// ExportSDF writes a Standard Delay Format annotation with per-arc
+// (best:best:worst-coupled) delay triples.
+func (d *Design) ExportSDF(w io.Writer, design string) error {
+	eng, err := core.NewEngine(d.Circuit, d.Calc, AnalysisOptions{Mode: BestCase, POCap: d.opts.POCap})
+	if err != nil {
+		return err
+	}
+	return eng.ExportSDF(w, design)
+}
+
+// HoldReport is the min-delay (hold) view of one analysis.
+type HoldReport = core.HoldReport
+
+// ReportHold computes earliest arrivals and checks them against the
+// flip-flop hold requirement.
+func (d *Design) ReportHold(opts AnalysisOptions, holdTime float64) (*HoldReport, error) {
+	if opts.POCap == 0 {
+		opts.POCap = d.opts.POCap
+	}
+	eng, err := core.NewEngine(d.Circuit, d.Calc, opts)
+	if err != nil {
+		return nil, err
+	}
+	return eng.ReportHold(holdTime)
+}
+
+// Corner names a process corner (SS/TT/FF).
+type Corner = device.Corner
+
+// CornerResult pairs a corner with its analysis.
+type CornerResult struct {
+	Corner Corner
+	Result *AnalysisResult
+}
+
+// AnalyzeCorners runs the analysis at the slow, typical and fast
+// process corners (device parameters varied; the extracted interconnect
+// is kept, as corner extraction is a separate axis).
+func (d *Design) AnalyzeCorners(opts AnalysisOptions) ([]CornerResult, error) {
+	if opts.POCap == 0 {
+		opts.POCap = d.opts.POCap
+	}
+	var out []CornerResult
+	for _, corner := range device.Corners() {
+		p := d.Proc.AtCorner(corner)
+		lib := device.NewLibrary(p, d.opts.DeviceGridN)
+		model, err := coupling.NewModel(p.VDD, p.VthModel)
+		if err != nil {
+			return nil, err
+		}
+		calc := delaycalc.New(lib, d.Sizing, model, d.opts.Calc)
+		eng, err := core.NewEngine(d.Circuit, calc, opts)
+		if err != nil {
+			return nil, err
+		}
+		res, err := eng.Run()
+		if err != nil {
+			return nil, fmt.Errorf("xtalksta: corner %s: %w", corner, err)
+		}
+		out = append(out, CornerResult{Corner: corner, Result: res})
+	}
+	return out, nil
+}
+
+// SizingResult reports a timing-driven gate-sizing run.
+type SizingResult = opt.Result
+
+// SizingConfig tunes the optimizer.
+type SizingConfig = opt.Config
+
+// FixTiming upsizes gates on critical paths until the clock period is
+// met under the given analysis mode (or limits are reached) — a small
+// timing-driven optimization loop on top of the crosstalk-aware
+// analyses.
+func (d *Design) FixTiming(opts AnalysisOptions, clockPeriod float64, cfg SizingConfig) (*SizingResult, error) {
+	if opts.POCap == 0 {
+		opts.POCap = d.opts.POCap
+	}
+	return opt.FixTiming(d.Circuit, d.Calc, opts, clockPeriod, cfg)
+}
+
+// NoiseReport is the functional-crosstalk (glitch) view of the design.
+type NoiseReport = noise.Report
+
+// AnalyzeNoise estimates worst-case crosstalk glitches on every driven
+// net (functional noise, the companion of the delay analysis).
+func (d *Design) AnalyzeNoise() (*NoiseReport, error) {
+	return noise.Analyze(d.Circuit, d.Proc, d.Sizing, d.Lib, noise.Options{})
+}
+
+// GoldenPath re-simulates a critical path at transistor level with
+// coupled aggressors and alignment optimization (the paper's SPICE
+// validation).
+func (d *Design) GoldenPath(path []PathStep, cfg GoldenConfig) (*GoldenOutcome, error) {
+	return pathsim.Simulate(d.Circuit, d.Lib, d.Sizing, path, cfg)
+}
+
+// PaperTable runs the full table experiment: all five analyses plus,
+// when withGolden is set, the golden simulation of the iterative
+// analysis's longest path.
+func (d *Design) PaperTable(title string, withGolden bool) (*Table, error) {
+	results, err := d.AnalyzeAll()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Title: title}
+	var iterRes *AnalysisResult
+	for _, r := range results {
+		t.Rows = append(t.Rows, report.Row{
+			Method:      r.Mode.String(),
+			DelayNs:     r.LongestPath * 1e9,
+			Runtime:     r.Runtime,
+			Passes:      r.Passes,
+			Evaluations: r.ArcEvaluations,
+		})
+		if r.Mode == Iterative {
+			iterRes = r
+		}
+	}
+	if iterRes != nil {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"wire (Elmore) delay on longest path: %.3f ns vs coupling impact (worst-best): %.3f ns",
+			iterRes.WireDelayOnLongestPath*1e9,
+			(results[2].LongestPath-results[0].LongestPath)*1e9))
+	}
+	if withGolden && iterRes != nil && len(iterRes.Path) >= 2 {
+		g, err := d.GoldenPath(iterRes.Path, GoldenConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("xtalksta: golden validation: %w", err)
+		}
+		t.GoldenNs = g.Delay * 1e9
+		t.GoldenQuietNs = g.QuietDelay * 1e9
+	}
+	return t, nil
+}
+
+// Stats returns circuit statistics for reporting.
+func (d *Design) Stats() (netlist.Stats, error) {
+	return d.Circuit.Stats()
+}

@@ -1,0 +1,139 @@
+// Command benchgen generates synthetic ISCAS89-class sequential
+// circuits (the reproduction's stand-in for the paper's benchmark
+// netlists) and writes them in `.bench` format, optionally with a
+// parasitics summary from the layout extractor.
+//
+// Usage:
+//
+//	benchgen -preset s38417 -scale 0.1 -o s38417_small.bench
+//	benchgen -cells 5000 -dffs 400 -depth 20 -seed 3 -o synth.bench -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"xtalksta/internal/ccc"
+	"xtalksta/internal/circuitgen"
+	"xtalksta/internal/device"
+	"xtalksta/internal/layout"
+	"xtalksta/internal/netlist"
+	"xtalksta/internal/spef"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		preset  = flag.String("preset", "", "paper preset: s35932, s38417, s38584")
+		scale   = flag.Float64("scale", 1.0, "preset size scale in (0,1]")
+		cells   = flag.Int("cells", 0, "synthetic circuit cell count")
+		dffs    = flag.Int("dffs", 0, "flip-flop count")
+		depth   = flag.Int("depth", 12, "logic depth")
+		pis     = flag.Int("pis", 16, "primary inputs")
+		pos     = flag.Int("pos", 16, "primary outputs")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("o", "", "output .bench file (default stdout)")
+		spefOut = flag.String("spef", "", "also place/route/extract and write parasitics to this file (the .bench output is then the lowered netlist)")
+		stats   = flag.Bool("stats", false, "also print layout and extraction statistics")
+	)
+	flag.Parse()
+
+	var c *netlist.Circuit
+	var err error
+	switch {
+	case *preset != "":
+		c, err = circuitgen.GeneratePreset(circuitgen.Preset(strings.ToLower(*preset)), *scale)
+	case *cells > 0:
+		if *dffs <= 0 {
+			*dffs = *cells / 10
+		}
+		c, err = circuitgen.Generate(circuitgen.Params{
+			Seed: *seed, Cells: *cells, DFFs: *dffs, PIs: *pis, POs: *pos,
+			Depth: *depth, ClockFanout: 8,
+		})
+	default:
+		return fmt.Errorf("one of -preset or -cells is required")
+	}
+	if err != nil {
+		return err
+	}
+
+	var l *layout.Layout
+	if *spefOut != "" || *stats {
+		// Lower before writing so the .bench names match the SPEF.
+		if err := netlist.Lower(c); err != nil {
+			return err
+		}
+		p := device.Generic05um()
+		siz := ccc.DefaultSizing(p)
+		l, err = layout.Build(c, layout.Options{})
+		if err != nil {
+			return err
+		}
+		if err := l.Extract(p, ccc.PinCapFunc(c, p, siz), 30e-15); err != nil {
+			return err
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := netlist.WriteBench(w, c); err != nil {
+		return err
+	}
+	if *spefOut != "" {
+		f, err := os.Create(*spefOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := spef.Write(f, c); err != nil {
+			return err
+		}
+	}
+
+	if *stats {
+		total, max := l.WirelengthStats()
+		st, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "lowered cells: %d, nets: %d, depth: %d\n", st.Cells, st.Nets, st.LogicDepth)
+		fmt.Fprintf(os.Stderr, "die: %.0f x %.0f um, wirelength total %.2f mm, max net %.0f um\n",
+			l.DieW*1e6, l.DieH*1e6, total*1e3, max*1e6)
+		var ccs []float64
+		nWithCc := 0
+		totCc, totCg := 0.0, 0.0
+		for _, n := range c.Nets {
+			if cc := n.Par.TotalCoupling(); cc > 0 {
+				nWithCc++
+				ccs = append(ccs, cc)
+				totCc += cc
+			}
+			totCg += n.Par.CWire
+		}
+		sort.Float64s(ccs)
+		med := 0.0
+		if len(ccs) > 0 {
+			med = ccs[len(ccs)/2]
+		}
+		fmt.Fprintf(os.Stderr, "coupling: %d/%d nets, median Cc %.2f fF, ΣCc/(ΣCc+ΣCg) = %.1f%%\n",
+			nWithCc, len(c.Nets), med*1e15, 100*totCc/(totCc+totCg))
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Command xtalklib characterizes the transistor-level cell library into
+// a Liberty-flavored lookup-table file, and verifies a library file
+// against fresh circuit-level simulations.
+//
+//	xtalklib -o lib05um.lib                  # characterize with defaults
+//	xtalklib -o lib.lib -dense               # denser grid (slower, tighter)
+//	xtalklib -check lib.lib                  # verify a library file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"xtalksta/internal/ccc"
+	"xtalksta/internal/coupling"
+	"xtalksta/internal/delaycalc"
+	"xtalksta/internal/device"
+	"xtalksta/internal/liberty"
+	"xtalksta/internal/netlist"
+	"xtalksta/internal/waveform"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xtalklib:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out   = flag.String("o", "", "write the characterized library to this file")
+		check = flag.String("check", "", "read a library file and verify it against fresh simulations")
+		dense = flag.Bool("dense", false, "use a denser characterization grid")
+	)
+	flag.Parse()
+
+	p := device.Generic05um()
+	devlib := device.NewLibrary(p, 0)
+	model, err := coupling.NewModel(p.VDD, p.VthModel)
+	if err != nil {
+		return err
+	}
+	calc := delaycalc.New(devlib, ccc.DefaultSizing(p), model, delaycalc.Options{})
+
+	cfg := liberty.Config{}
+	if *dense {
+		cfg.Slews = []float64{30e-12, 80e-12, 180e-12, 400e-12, 800e-12, 1.6e-9, 3e-9}
+		cfg.Loads = []float64{3e-15, 10e-15, 25e-15, 60e-15, 140e-15, 320e-15, 700e-15, 1.5e-12}
+		cfg.Ratios = []float64{0, 0.2, 0.4, 0.6, 0.8}
+	}
+
+	switch {
+	case *out != "":
+		lib, err := liberty.Characterize("xtalksta_05um", calc, cfg)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := lib.Write(f); err != nil {
+			return err
+		}
+		_, sims := calc.Stats()
+		fmt.Printf("characterized %d arc classes with %d simulations -> %s\n",
+			len(lib.Classes()), sims, *out)
+		return nil
+
+	case *check != "":
+		// A throwaway characterization supplies process/sizing metadata.
+		ref, err := liberty.Characterize("ref", calc, liberty.Config{
+			Slews: []float64{1e-10, 1e-9}, Loads: []float64{1e-14, 1e-13},
+			Ratios: []float64{0, 0.5}, MaxNIn: 2,
+		})
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(*check)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		lib, err := liberty.Parse(f, ref)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("library %q: %d arc classes\n", lib.Name, len(lib.Classes()))
+		worst := 0.0
+		n := 0
+		for _, req := range []delaycalc.Request{
+			{Kind: netlist.INV, NIn: 1, Pin: 0, Dir: waveform.Rising, InSlew: 0.3e-9, CLoad: 50e-15},
+			{Kind: netlist.NAND, NIn: 2, Pin: 1, Dir: waveform.Falling, InSlew: 0.2e-9, CLoad: 35e-15, CCouple: 20e-15},
+			{Kind: netlist.NOR, NIn: 3, Pin: 0, Dir: waveform.Rising, InSlew: 0.6e-9, CLoad: 120e-15},
+		} {
+			want, err := calc.Eval(req)
+			if err != nil {
+				return err
+			}
+			got, err := lib.Eval(req)
+			if err != nil {
+				fmt.Printf("  %s%d/%d %s: not covered (%v)\n", req.Kind, req.NIn, req.Pin, req.Dir, err)
+				continue
+			}
+			rel := math.Abs(got.Delay-want.Delay) / want.Delay
+			fmt.Printf("  %s%d/%d %s: LUT %.4g ns vs circuit %.4g ns (%.1f%%)\n",
+				req.Kind, req.NIn, req.Pin, req.Dir, got.Delay*1e9, want.Delay*1e9, rel*100)
+			if rel > worst {
+				worst = rel
+			}
+			n++
+		}
+		fmt.Printf("worst deviation over %d spot checks: %.1f%%\n", n, worst*100)
+		return nil
+	}
+	return fmt.Errorf("one of -o or -check is required")
+}

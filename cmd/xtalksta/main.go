@@ -1,0 +1,219 @@
+// Command xtalksta runs the crosstalk-aware static timing analyses on a
+// circuit and prints the paper-style result table.
+//
+// Usage:
+//
+//	xtalksta -preset s35932 -scale 0.05 -golden
+//	xtalksta -bench design.bench -mode iterative
+//	xtalksta -cells 2000 -dffs 150 -depth 14 -seed 7
+//
+// With -mode, a single analysis runs and the critical path is printed;
+// without it, all five analyses run and the table is rendered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xtalksta"
+	"xtalksta/internal/circuitgen"
+	"xtalksta/internal/vcd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xtalksta:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		benchPath = flag.String("bench", "", "ISCAS89 .bench netlist to analyze")
+		spefPath  = flag.String("spef", "", "parasitics file for -bench (skips place & route)")
+		preset    = flag.String("preset", "", "paper benchmark preset: s35932, s38417 or s38584")
+		scale     = flag.Float64("scale", 1.0, "preset size scale in (0,1]")
+		cells     = flag.Int("cells", 0, "generate a synthetic circuit with this many cells")
+		dffs      = flag.Int("dffs", 0, "flip-flop count for -cells")
+		depth     = flag.Int("depth", 12, "logic depth for -cells")
+		seed      = flag.Int64("seed", 1, "generator seed for -cells")
+		mode      = flag.String("mode", "", "single analysis: best, doubled, worst, onestep, iterative")
+		esperance = flag.Bool("esperance", false, "enable the Esperance speedup (iterative mode)")
+		golden    = flag.Bool("golden", false, "validate the longest path with the golden simulator")
+		markdown  = flag.Bool("markdown", false, "emit the table as markdown")
+		clock     = flag.Float64("clock", 0, "clock period in ns: print a per-endpoint slack report")
+		topk      = flag.Int("topk", 10, "endpoints/nets to list in reports")
+		noiseFlag = flag.Bool("noise", false, "print the crosstalk glitch (functional noise) report")
+		fix       = flag.Bool("fix", false, "run the gate-sizing optimizer against -clock (requires -mode and -clock)")
+		goldenVCD = flag.String("goldenvcd", "", "with -golden: dump the aligned path waveforms to this VCD file")
+	)
+	flag.Parse()
+
+	d, title, err := buildDesign(*benchPath, *spefPath, *preset, *scale, *cells, *dffs, *depth, *seed)
+	if err != nil {
+		return err
+	}
+	st, err := d.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("circuit: %s — %d cells (%d DFFs), %d nets, depth %d\n\n",
+		title, st.Cells, st.DFFs, st.Nets, st.LogicDepth)
+
+	if *noiseFlag {
+		rep, err := d.AnalyzeNoise()
+		if err != nil {
+			return err
+		}
+		if err := rep.Render(os.Stdout, *topk); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if *mode != "" {
+		m, err := parseMode(*mode)
+		if err != nil {
+			return err
+		}
+		if *fix {
+			if *clock <= 0 {
+				return fmt.Errorf("-fix requires -clock")
+			}
+			res, err := d.FixTiming(xtalksta.AnalysisOptions{Mode: m}, *clock*1e-9, xtalksta.SizingConfig{})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("sizing: %.3f ns -> %.3f ns against %.3f ns target (met=%v, %d moves, %d iterations)\n",
+				res.Before*1e9, res.After*1e9, *clock, res.Met, len(res.Moves), res.Iterations)
+			for i, mv := range res.Moves {
+				if i >= *topk {
+					fmt.Printf("  ... %d more moves\n", len(res.Moves)-i)
+					break
+				}
+				fmt.Printf("  upsize %-12s -> %.2fx\n", mv.Cell, mv.NewSize)
+			}
+			return nil
+		}
+		if *clock > 0 {
+			rep, err := d.Report(xtalksta.AnalysisOptions{Mode: m, Esperance: *esperance}, *clock*1e-9)
+			if err != nil {
+				return err
+			}
+			return rep.Render(os.Stdout, *topk)
+		}
+		res, err := d.Analyze(xtalksta.AnalysisOptions{Mode: m, Esperance: *esperance})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: longest path %.3f ns (endpoint %s %s, %d passes, %v, %d arc evals)\n",
+			res.Mode, res.LongestPath*1e9, res.Endpoint.Net, res.Endpoint.Kind,
+			res.Passes, res.Runtime.Round(1e6), res.ArcEvaluations)
+		fmt.Println("\ncritical path:")
+		for _, step := range res.Path {
+			cell := step.Cell
+			if cell == "" {
+				cell = "(launch)"
+			}
+			fmt.Printf("  %8.3f ns  %-5s %-20s via %s\n", step.Arrival*1e9, step.Dir, step.Net, cell)
+		}
+		if *golden {
+			g, err := d.GoldenPath(res.Path, xtalksta.GoldenConfig{})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\ngolden simulation: %.3f ns aligned (%.3f ns quiet), %d aggressors, %d sims\n",
+				g.Delay*1e9, g.QuietDelay*1e9, len(g.Aggressors), g.Sims)
+			if *goldenVCD != "" {
+				f, err := os.Create(*goldenVCD)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				var sigs []vcd.Signal
+				for name, tr := range g.Traces {
+					sigs = append(sigs, vcd.Signal{Name: name, Trace: tr})
+				}
+				if err := vcd.Write(f, "goldenpath", 1e-12, sigs); err != nil {
+					return err
+				}
+				fmt.Printf("waveforms written to %s\n", *goldenVCD)
+			}
+		}
+		return nil
+	}
+
+	table, err := d.PaperTable(title, *golden)
+	if err != nil {
+		return err
+	}
+	if *markdown {
+		return table.Markdown(os.Stdout)
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+	if v := table.CheckShape(0.05); len(v) > 0 {
+		fmt.Println("\nWARNING: paper shape violated:")
+		for _, s := range v {
+			fmt.Println("  -", s)
+		}
+	}
+	return nil
+}
+
+func buildDesign(benchPath, spefPath, preset string, scale float64, cells, dffs, depth int, seed int64) (*xtalksta.Design, string, error) {
+	switch {
+	case benchPath != "":
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		if spefPath != "" {
+			sf, err := os.Open(spefPath)
+			if err != nil {
+				return nil, "", err
+			}
+			defer sf.Close()
+			d, err := xtalksta.FromBenchAndSPEF(benchPath, f, sf, xtalksta.Defaults())
+			return d, benchPath, err
+		}
+		d, err := xtalksta.FromBench(benchPath, f, xtalksta.Defaults())
+		return d, benchPath, err
+	case preset != "":
+		p := xtalksta.Preset(strings.ToLower(preset))
+		d, err := xtalksta.GeneratePreset(p, scale, xtalksta.Defaults())
+		title := fmt.Sprintf("%s (scale %.2f)", preset, scale)
+		return d, title, err
+	case cells > 0:
+		if dffs <= 0 {
+			dffs = cells / 10
+		}
+		d, err := xtalksta.Generate(circuitgen.Params{
+			Seed: seed, Cells: cells, DFFs: dffs, Depth: depth, ClockFanout: 8,
+		}, xtalksta.Defaults())
+		title := fmt.Sprintf("synthetic %d cells (seed %d)", cells, seed)
+		return d, title, err
+	default:
+		return nil, "", fmt.Errorf("one of -bench, -preset or -cells is required")
+	}
+}
+
+func parseMode(s string) (xtalksta.Mode, error) {
+	switch strings.ToLower(s) {
+	case "best", "bestcase":
+		return xtalksta.BestCase, nil
+	case "doubled", "static", "staticdoubled":
+		return xtalksta.StaticDoubled, nil
+	case "worst", "worstcase":
+		return xtalksta.WorstCase, nil
+	case "onestep", "one-step", "one":
+		return xtalksta.OneStep, nil
+	case "iterative", "iter":
+		return xtalksta.Iterative, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}

@@ -1,0 +1,87 @@
+// Couplingdemo reproduces the paper's Fig. 1 at transistor level: an
+// aggressor and a victim line sharing a coupling capacitance. It prints
+// an ASCII rendering of the victim waveform with a quiet versus an
+// opposite-switching aggressor, and the victim-delay-vs-alignment curve
+// that motivates crosstalk-aware timing analysis.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"xtalksta/internal/device"
+	"xtalksta/internal/figone"
+)
+
+func main() {
+	lib := device.NewLibrary(device.Generic05um(), 0)
+	cc, cg := 60e-15, 60e-15
+
+	fig, err := figone.Waveforms(lib, cc, cg, 72)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fig. 1 demo: Cc = %.0f fF, Cgnd = %.0f fF (VDD = 3.3 V)\n", cc*1e15, cg*1e15)
+	fmt.Printf("victim 50%% delay: quiet aggressor %.3f ns, switching aggressor %.3f ns (pushout %.3f ns)\n\n",
+		fig.QuietDelay*1e9, fig.CoupledDelay*1e9, (fig.CoupledDelay-fig.QuietDelay)*1e9)
+
+	fmt.Println("victim waveform (Q = quiet aggressor, C = coupled, A = aggressor):")
+	plot(fig)
+
+	fmt.Println("\nvictim delay vs aggressor switching time (the alignment bump):")
+	sweep, err := figone.AlignmentSweep(lib, cc, cg, 25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	min, max := sweep[0].VictimDelay, sweep[0].VictimDelay
+	for _, pt := range sweep {
+		if pt.VictimDelay < min {
+			min = pt.VictimDelay
+		}
+		if pt.VictimDelay > max {
+			max = pt.VictimDelay
+		}
+	}
+	for _, pt := range sweep {
+		bar := 0
+		if max > min {
+			bar = int(50 * (pt.VictimDelay - min) / (max - min))
+		}
+		fmt.Printf("  agg @ %5.2f ns  delay %5.3f ns  |%s\n",
+			pt.AggressorTime*1e9, pt.VictimDelay*1e9, strings.Repeat("#", bar))
+	}
+	fmt.Println("\nThe pushout only occurs while the victim transitions — exactly the")
+	fmt.Println("window the paper's one-step/iterative algorithms reason about via")
+	fmt.Println("per-line quiescent times.")
+}
+
+// plot renders three traces in a small ASCII grid: rows are voltage
+// bins (3.3 V at the top), columns are time samples.
+func plot(fig *figone.Fig) {
+	const rows = 16
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(fig.Time)))
+	}
+	put := func(values []float64, ch byte) {
+		for i, v := range values {
+			r := int((3.3 - v) / 3.3 * float64(rows-1))
+			if r < 0 {
+				r = 0
+			}
+			if r >= rows {
+				r = rows - 1
+			}
+			grid[r][i] = ch
+		}
+	}
+	put(fig.Aggressor, 'A')
+	put(fig.VictimQuiet, 'Q')
+	put(fig.VictimCoupled, 'C')
+	for r, row := range grid {
+		v := 3.3 * float64(rows-1-r) / float64(rows-1)
+		fmt.Printf("  %4.1fV |%s|\n", v, string(row))
+	}
+	fmt.Printf("         0%sns\n", strings.Repeat(" ", len(fig.Time)-4))
+}

@@ -1,0 +1,3 @@
+module xtalksta
+
+go 1.22

@@ -1,0 +1,283 @@
+package ccc
+
+import (
+	"testing"
+
+	"xtalksta/internal/device"
+	"xtalksta/internal/netlist"
+	"xtalksta/internal/spice"
+	"xtalksta/internal/waveform"
+)
+
+func testLib() *device.Library {
+	return device.NewLibrary(device.Generic05um(), 129)
+}
+
+// runStage simulates a stage and returns the output trace.
+func runStage(t *testing.T, st *Stage, tstop float64) *spice.Trace {
+	t.Helper()
+	res, err := st.Ckt.Transient(spice.TranOptions{
+		TStop:    tstop,
+		DT:       2e-12,
+		InitialV: st.InitialV,
+		Probes:   []spice.NodeID{st.Out},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := res.Trace(st.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestInverterStageBothDirections(t *testing.T) {
+	lib := testLib()
+	s := DefaultSizing(lib.Proc)
+	for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+		st, err := BuildStage(lib, s, netlist.INV, 1, 0, dir, 0.2e-9, 50e-15, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := runStage(t, st, 5e-9)
+		if !tr.Settled(st.OutFinal, 0.1) {
+			t.Fatalf("%s: output did not settle to %v (final %v)", dir, st.OutFinal, tr.Final())
+		}
+		tc, ok := tr.FirstCrossing(lib.Proc.VDD/2, dir)
+		if !ok {
+			t.Fatalf("%s: no 50%% crossing", dir)
+		}
+		if tc < 50e-12 || tc > 3e-9 {
+			t.Errorf("%s: delay %v implausible", dir, tc)
+		}
+	}
+}
+
+func TestNANDAllPinsAndWidths(t *testing.T) {
+	lib := testLib()
+	s := DefaultSizing(lib.Proc)
+	for _, nin := range []int{2, 3, 4} {
+		for pin := 0; pin < nin; pin++ {
+			for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+				st, err := BuildStage(lib, s, netlist.NAND, nin, pin, dir, 0.2e-9, 40e-15, 1)
+				if err != nil {
+					t.Fatalf("NAND%d pin %d %s: %v", nin, pin, dir, err)
+				}
+				tr := runStage(t, st, 8e-9)
+				if !tr.Settled(st.OutFinal, 0.15) {
+					t.Errorf("NAND%d pin %d %s: final %v, want %v", nin, pin, dir, tr.Final(), st.OutFinal)
+				}
+			}
+		}
+	}
+}
+
+func TestNORAllPins(t *testing.T) {
+	lib := testLib()
+	s := DefaultSizing(lib.Proc)
+	for _, nin := range []int{2, 3} {
+		for pin := 0; pin < nin; pin++ {
+			for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+				st, err := BuildStage(lib, s, netlist.NOR, nin, pin, dir, 0.2e-9, 40e-15, 1)
+				if err != nil {
+					t.Fatalf("NOR%d pin %d %s: %v", nin, pin, dir, err)
+				}
+				tr := runStage(t, st, 8e-9)
+				if !tr.Settled(st.OutFinal, 0.15) {
+					t.Errorf("NOR%d pin %d %s: final %v, want %v", nin, pin, dir, tr.Final(), st.OutFinal)
+				}
+			}
+		}
+	}
+}
+
+func TestLargerLoadSlowerInverter(t *testing.T) {
+	lib := testLib()
+	s := DefaultSizing(lib.Proc)
+	delayWith := func(cl float64) float64 {
+		st, err := BuildStage(lib, s, netlist.INV, 1, 0, waveform.Rising, 0.2e-9, cl, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := runStage(t, st, 10e-9)
+		tc, ok := tr.FirstCrossing(lib.Proc.VDD/2, waveform.Rising)
+		if !ok {
+			t.Fatal("no crossing")
+		}
+		return tc
+	}
+	if d1, d2 := delayWith(20e-15), delayWith(200e-15); d2 <= d1 {
+		t.Errorf("10x load must be slower: %v vs %v", d1, d2)
+	}
+}
+
+func TestSizeMultSpeedsUp(t *testing.T) {
+	lib := testLib()
+	s := DefaultSizing(lib.Proc)
+	delayWith := func(mult float64) float64 {
+		st, err := BuildStage(lib, s, netlist.INV, 1, 0, waveform.Falling, 0.2e-9, 200e-15, mult)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := runStage(t, st, 10e-9)
+		tc, ok := tr.FirstCrossing(lib.Proc.VDD/2, waveform.Falling)
+		if !ok {
+			t.Fatal("no crossing")
+		}
+		return tc
+	}
+	if d1, d4 := delayWith(1), delayWith(4); d4 >= d1 {
+		t.Errorf("4x cell must be faster: 1x=%v 4x=%v", d1, d4)
+	}
+}
+
+func TestInputCapOrdering(t *testing.T) {
+	p := device.Generic05um()
+	s := DefaultSizing(p)
+	inv, err := InputCap(p, s, netlist.INV, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nand2, err := InputCap(p, s, netlist.NAND, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv <= 0 || nand2 <= inv {
+		t.Errorf("NAND2 pin cap (%v) must exceed INV (%v) due to stack upsizing", nand2, inv)
+	}
+	dff, err := InputCap(p, s, netlist.DFF, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dff <= 0 {
+		t.Errorf("DFF data cap = %v", dff)
+	}
+	if _, err := InputCap(p, s, netlist.AND, 2, 1); err == nil {
+		t.Error("non-primitive kind must error")
+	}
+}
+
+func TestBuildStageValidation(t *testing.T) {
+	lib := testLib()
+	s := DefaultSizing(lib.Proc)
+	if _, err := BuildStage(lib, s, netlist.NAND, 2, 5, waveform.Rising, 1e-10, 1e-15, 1); err == nil {
+		t.Error("pin out of range must error")
+	}
+	if _, err := BuildStage(lib, s, netlist.AND, 2, 0, waveform.Rising, 1e-10, 1e-15, 1); err == nil {
+		t.Error("non-primitive must error")
+	}
+}
+
+func TestDriveResistance(t *testing.T) {
+	lib := testLib()
+	s := DefaultSizing(lib.Proc)
+	rInv, err := DriveResistance(lib, s, netlist.INV, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rInv < 100 || rInv > 100e3 {
+		t.Errorf("inverter drive resistance %v implausible", rInv)
+	}
+	rBig, err := DriveResistance(lib, s, netlist.INV, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBig >= rInv {
+		t.Errorf("4x cell must have lower R: %v vs %v", rBig, rInv)
+	}
+	if _, err := DriveResistance(lib, s, netlist.XOR, 2, 1); err == nil {
+		t.Error("non-primitive must error")
+	}
+}
+
+func TestDFFConstants(t *testing.T) {
+	p := device.Generic05um()
+	s := DefaultSizing(p)
+	if DFFClkToQ() <= 0 || DFFSetup() <= 0 {
+		t.Error("DFF timing constants must be positive")
+	}
+	if DFFDataCap(p, s) <= 0 || DFFClockCap(p, s) <= 0 {
+		t.Error("DFF pin caps must be positive")
+	}
+}
+
+func TestOutputDrainCapGrowsWithFanin(t *testing.T) {
+	p := device.Generic05um()
+	s := DefaultSizing(p)
+	c2, err := OutputDrainCap(p, s, netlist.NAND, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, err := OutputDrainCap(p, s, netlist.NAND, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4 <= c2 {
+		t.Errorf("NAND4 junction cap (%v) must exceed NAND2 (%v)", c4, c2)
+	}
+}
+
+func TestAddTransistorsErrors(t *testing.T) {
+	lib := testLib()
+	s := DefaultSizing(lib.Proc)
+	ckt := spice.NewCircuit()
+	out := ckt.Node("out")
+	vdd, err := ckt.Rail("vdd", lib.Proc.VDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ckt.Node("g")
+	// INV with two gate nodes is malformed.
+	if err := AddTransistors(ckt, lib, s, netlist.INV, []spice.NodeID{g, g}, out, vdd, 1, "x"); err == nil {
+		t.Error("INV with 2 gates must error")
+	}
+	// Unsupported kind.
+	if err := AddTransistors(ckt, lib, s, netlist.XOR, []spice.NodeID{g, g}, out, vdd, 1, "y"); err == nil {
+		t.Error("XOR topology must error")
+	}
+}
+
+func TestBuildStageRCFarNode(t *testing.T) {
+	lib := testLib()
+	s := DefaultSizing(lib.Proc)
+	// Lumped: Far == Out.
+	st, err := BuildStage(lib, s, netlist.INV, 1, 0, waveform.Rising, 0.2e-9, 30e-15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Far != st.Out {
+		t.Error("lumped stage must alias Far to Out")
+	}
+	// π-model: distinct far node, and the far transition lags the near one.
+	rc, err := BuildStageRC(lib, s, netlist.INV, 1, 0, waveform.Rising, 0.2e-9, 15e-15, 500, 15e-15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Far == rc.Out {
+		t.Fatal("π stage must have a separate far node")
+	}
+	res, err := rc.Ckt.Transient(spice.TranOptions{
+		TStop: 5e-9, DT: 2e-12, InitialV: rc.InitialV,
+		Probes: []spice.NodeID{rc.Out, rc.Far},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trOut, err := res.Trace(rc.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trFar, err := res.Trace(rc.Far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tOut, ok1 := trOut.FirstCrossing(lib.Proc.VDD/2, waveform.Rising)
+	tFar, ok2 := trFar.FirstCrossing(lib.Proc.VDD/2, waveform.Rising)
+	if !ok1 || !ok2 {
+		t.Fatal("missing 50% crossings")
+	}
+	if tFar <= tOut {
+		t.Errorf("far node (%v) must lag the driver output (%v)", tFar, tOut)
+	}
+}

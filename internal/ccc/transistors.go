@@ -1,0 +1,84 @@
+package ccc
+
+import (
+	"fmt"
+
+	"xtalksta/internal/device"
+	"xtalksta/internal/netlist"
+	"xtalksta/internal/spice"
+)
+
+// AddTransistors instantiates a primitive cell's transistor network
+// into an existing circuit. gates lists the gate node per input pin
+// (pin 0 is the series-stack transistor closest to the output). prefix
+// namespaces the internal node and device names so multiple cells can
+// share one circuit (the golden path simulations).
+func AddTransistors(ckt *spice.Circuit, lib *device.Library, s Sizing, kind netlist.GateKind,
+	gates []spice.NodeID, out, vdd spice.NodeID, sizeMult float64, prefix string) error {
+
+	nin := len(gates)
+	wn, wp, err := s.deviceWidths(kind, nin)
+	if err != nil {
+		return err
+	}
+	if sizeMult <= 0 {
+		sizeMult = 1
+	}
+	wn *= sizeMult
+	wp *= sizeMult
+	nm := lib.Model(device.NMOS, device.Geometry{W: wn, L: s.L})
+	pm := lib.Model(device.PMOS, device.Geometry{W: wp, L: s.L})
+
+	switch kind {
+	case netlist.INV:
+		if nin != 1 {
+			return fmt.Errorf("ccc: INV with %d gates", nin)
+		}
+		ckt.AddMOSFET(prefix+"p", out, gates[0], vdd, pm)
+		ckt.AddMOSFET(prefix+"n", out, gates[0], spice.Ground, nm)
+	case netlist.NAND:
+		// Parallel PMOS to VDD.
+		for i := 0; i < nin; i++ {
+			ckt.AddMOSFET(fmt.Sprintf("%sp%d", prefix, i), out, gates[i], vdd, pm)
+		}
+		// Series NMOS stack: out → x1 → … → gnd; pin 0 nearest out.
+		// Internal nodes carry their physical junction capacitance,
+		// which also anchors them numerically (a cap-less node between
+		// two cut-off devices has no defined potential).
+		top := out
+		for i := 0; i < nin; i++ {
+			bottom := spice.Ground
+			if i < nin-1 {
+				bottom = ckt.Node(fmt.Sprintf("%sxn%d", prefix, i))
+				if err := ckt.AddCapacitor(fmt.Sprintf("%scxn%d", prefix, i),
+					bottom, spice.Ground, 2*lib.Proc.CdPerWidth*wn); err != nil {
+					return err
+				}
+			}
+			ckt.AddMOSFET(fmt.Sprintf("%sn%d", prefix, i), top, gates[i], bottom, nm)
+			top = bottom
+		}
+	case netlist.NOR:
+		// Series PMOS stack: vdd → y1 → … → out; pin 0 nearest out.
+		bottom := out
+		for i := 0; i < nin; i++ {
+			topNode := vdd
+			if i < nin-1 {
+				topNode = ckt.Node(fmt.Sprintf("%sxp%d", prefix, i))
+				if err := ckt.AddCapacitor(fmt.Sprintf("%scxp%d", prefix, i),
+					topNode, spice.Ground, 2*lib.Proc.CdPerWidth*wp); err != nil {
+					return err
+				}
+			}
+			// PMOS drain at the lower-potential side.
+			ckt.AddMOSFET(fmt.Sprintf("%sp%d", prefix, i), bottom, gates[i], topNode, pm)
+			bottom = topNode
+		}
+		for i := 0; i < nin; i++ {
+			ckt.AddMOSFET(fmt.Sprintf("%sn%d", prefix, i), out, gates[i], spice.Ground, nm)
+		}
+	default:
+		return fmt.Errorf("ccc: kind %s has no transistor topology", kind)
+	}
+	return nil
+}

@@ -1,0 +1,429 @@
+// Package circuitgen generates synthetic sequential benchmark circuits
+// that stand in for the ISCAS89 netlists of the paper's evaluation
+// (s35932, s38417, s38584). The generator reproduces the statistics
+// that matter for the crosstalk-STA experiments — cell count, flip-flop
+// count, gate mix, fanin/fanout distribution and logic depth — using a
+// deterministic PRNG so every run of the benchmark harness sees the
+// same circuit.
+package circuitgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xtalksta/internal/netlist"
+)
+
+// Params controls the generator.
+type Params struct {
+	Name string
+	Seed int64
+	// Cells is the total cell count including flip-flops (the paper
+	// quotes 17900 / 23922 / 20812).
+	Cells int
+	// DFFs is the number of D flip-flops.
+	DFFs int
+	// PIs and POs are the primary input/output counts.
+	PIs, POs int
+	// Depth is the target combinational depth.
+	Depth int
+	// GateMix gives relative weights for the combinational gate kinds;
+	// nil selects a default inverting mix.
+	GateMix map[netlist.GateKind]float64
+	// ClockFanout is the per-buffer branching factor of the inserted
+	// clock tree; 0 disables clock-tree insertion.
+	ClockFanout int
+}
+
+func (p Params) withDefaults() (Params, error) {
+	if p.Cells <= 0 {
+		return p, fmt.Errorf("circuitgen: Cells must be positive, got %d", p.Cells)
+	}
+	if p.DFFs < 0 || p.DFFs >= p.Cells {
+		return p, fmt.Errorf("circuitgen: DFFs (%d) must be in [0, Cells)", p.DFFs)
+	}
+	if p.PIs <= 0 {
+		p.PIs = 8
+	}
+	if p.POs <= 0 {
+		p.POs = 8
+	}
+	if p.Depth <= 0 {
+		p.Depth = 12
+	}
+	if p.Name == "" {
+		p.Name = fmt.Sprintf("synth%d", p.Cells)
+	}
+	if p.GateMix == nil {
+		p.GateMix = map[netlist.GateKind]float64{
+			netlist.INV:  0.25,
+			netlist.NAND: 0.40,
+			netlist.NOR:  0.35,
+		}
+	}
+	for k := range p.GateMix {
+		switch k {
+		case netlist.INV, netlist.NAND, netlist.NOR, netlist.AND, netlist.OR, netlist.XOR, netlist.XNOR, netlist.BUF:
+		default:
+			return p, fmt.Errorf("circuitgen: gate mix contains non-combinational kind %s", k)
+		}
+	}
+	return p, nil
+}
+
+// Generate builds a circuit from the parameters. The result is
+// validated and, when ClockFanout > 0, contains a CLKBUF clock tree
+// whose leaves drive the flip-flops.
+func Generate(p Params) (*netlist.Circuit, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	c := netlist.New(p.Name)
+
+	// Primary inputs.
+	piNets := make([]netlist.NetID, p.PIs)
+	for i := range piNets {
+		id := c.AddNet(fmt.Sprintf("PI%d", i))
+		c.MarkPI(id)
+		piNets[i] = id
+	}
+
+	// Flip-flop outputs exist up front so combinational logic can read
+	// state; their D inputs are connected at the end.
+	dffQ := make([]netlist.NetID, p.DFFs)
+	for i := range dffQ {
+		dffQ[i] = c.AddNet(fmt.Sprintf("Q%d", i))
+	}
+
+	// Level structure: level 0 holds PIs and FF outputs; combinational
+	// cells are spread over levels 1..Depth with a mild taper so deep
+	// levels are narrower, which produces a few long paths rather than
+	// a rectangle.
+	nComb := p.Cells - p.DFFs
+	levelOf := make([]int, nComb)
+	weights := make([]float64, p.Depth)
+	totalW := 0.0
+	for l := 0; l < p.Depth; l++ {
+		w := 1.0 - 0.5*float64(l)/float64(p.Depth)
+		weights[l] = w
+		totalW += w
+	}
+	idx := 0
+	for l := 0; l < p.Depth && idx < nComb; l++ {
+		cnt := int(float64(nComb) * weights[l] / totalW)
+		if l == p.Depth-1 {
+			cnt = nComb - idx // remainder
+		}
+		for i := 0; i < cnt && idx < nComb; i++ {
+			levelOf[idx] = l + 1
+			idx++
+		}
+	}
+	for ; idx < nComb; idx++ {
+		levelOf[idx] = 1 + rng.Intn(p.Depth)
+	}
+
+	// Nets available per level.
+	byLevel := make([][]netlist.NetID, p.Depth+1)
+	byLevel[0] = append(append([]netlist.NetID{}, piNets...), dffQ...)
+	// fanoutCount tracks usage so low-fanout nets are preferred,
+	// keeping the fanout distribution benchmark-like (average ~2).
+	fanout := make(map[netlist.NetID]int)
+
+	pickInput := func(level int, exclude map[netlist.NetID]bool) (netlist.NetID, bool) {
+		// Bias: 70% previous level (long paths), 30% any earlier level.
+		for attempt := 0; attempt < 24; attempt++ {
+			var pool []netlist.NetID
+			if rng.Float64() < 0.7 && len(byLevel[level-1]) > 0 {
+				pool = byLevel[level-1]
+			} else {
+				l := rng.Intn(level)
+				pool = byLevel[l]
+			}
+			if len(pool) == 0 {
+				continue
+			}
+			// Locality bias: sample a window around a random anchor.
+			anchor := rng.Intn(len(pool))
+			span := 16
+			lo := anchor - span/2
+			if lo < 0 {
+				lo = 0
+			}
+			hi := lo + span
+			if hi > len(pool) {
+				hi = len(pool)
+			}
+			best := netlist.NoNet
+			bestFan := 1 << 30
+			for _, cand := range pool[lo:hi] {
+				if exclude[cand] {
+					continue
+				}
+				if f := fanout[cand]; f < bestFan {
+					bestFan = f
+					best = cand
+				}
+			}
+			if best != netlist.NoNet {
+				return best, true
+			}
+		}
+		return netlist.NoNet, false
+	}
+
+	kinds, cum := buildMixCDF(p.GateMix)
+	pickKind := func() netlist.GateKind {
+		x := rng.Float64()
+		for i, cv := range cum {
+			if x <= cv {
+				return kinds[i]
+			}
+		}
+		return kinds[len(kinds)-1]
+	}
+	pickFanin := func(k netlist.GateKind) int {
+		if k.MaxInputs() == 1 {
+			return 1
+		}
+		// Mostly 2-input, some 3, few 4 — the ISCAS89 profile.
+		switch x := rng.Float64(); {
+		case x < 0.72:
+			return 2
+		case x < 0.93:
+			return 3
+		default:
+			return 4
+		}
+	}
+
+	for ci := 0; ci < nComb; ci++ {
+		level := levelOf[ci]
+		kind := pickKind()
+		nin := pickFanin(kind)
+		if kind == netlist.XOR || kind == netlist.XNOR {
+			nin = 2
+		}
+		ins := make([]netlist.NetID, 0, nin)
+		exclude := make(map[netlist.NetID]bool, nin)
+		for len(ins) < nin {
+			in, ok := pickInput(level, exclude)
+			if !ok {
+				return nil, fmt.Errorf("circuitgen: no candidate input at level %d", level)
+			}
+			ins = append(ins, in)
+			exclude[in] = true
+			fanout[in]++
+		}
+		out := c.AddNet(fmt.Sprintf("N%d", ci))
+		name := fmt.Sprintf("g%d", ci)
+		if _, err := c.AddCell(name, kind, ins, out); err != nil {
+			return nil, err
+		}
+		byLevel[level] = append(byLevel[level], out)
+	}
+
+	// Choose the deepest populated level for endpoints.
+	deepPool := func() []netlist.NetID {
+		var pool []netlist.NetID
+		for l := p.Depth; l >= 1 && len(pool) < p.DFFs+p.POs; l-- {
+			pool = append(pool, byLevel[l]...)
+		}
+		return pool
+	}()
+	if len(deepPool) == 0 {
+		return nil, fmt.Errorf("circuitgen: circuit has no combinational nets")
+	}
+
+	// Flip-flop D inputs: prefer unused (zero-fanout) deep nets so the
+	// sequential loop closes over the long paths.
+	dffD := make([]netlist.NetID, p.DFFs)
+	pi := 0
+	for i := range dffD {
+		var chosen netlist.NetID
+		for tries := 0; tries < 8; tries++ {
+			cand := deepPool[(pi+rng.Intn(len(deepPool)))%len(deepPool)]
+			pi++
+			if fanout[cand] == 0 || tries == 7 {
+				chosen = cand
+				break
+			}
+		}
+		dffD[i] = chosen
+		fanout[chosen]++
+	}
+	for i := 0; i < p.DFFs; i++ {
+		name := fmt.Sprintf("ff%d", i)
+		if _, err := c.AddCell(name, netlist.DFF, []netlist.NetID{dffD[i]}, dffQ[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Primary outputs from deep nets.
+	for i := 0; i < p.POs; i++ {
+		c.MarkPO(deepPool[rng.Intn(len(deepPool))])
+	}
+
+	// Remaining zero-fanout nets become additional POs (dangling logic
+	// exists in the real benchmarks too, but endpoints keep the timing
+	// graph covering every cell).
+	for _, n := range c.Nets {
+		if len(n.Fanout) == 0 && !n.IsPO && n.Driver != netlist.NoCell {
+			c.MarkPO(n.ID)
+		}
+	}
+
+	if p.ClockFanout > 0 {
+		if err := InsertClockTree(c, p.ClockFanout); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("circuitgen: generated circuit invalid: %w", err)
+	}
+	return c, nil
+}
+
+func buildMixCDF(mix map[netlist.GateKind]float64) ([]netlist.GateKind, []float64) {
+	// Deterministic order.
+	order := []netlist.GateKind{
+		netlist.INV, netlist.BUF, netlist.NAND, netlist.NOR,
+		netlist.AND, netlist.OR, netlist.XOR, netlist.XNOR,
+	}
+	var kinds []netlist.GateKind
+	var weights []float64
+	total := 0.0
+	for _, k := range order {
+		if w, ok := mix[k]; ok && w > 0 {
+			kinds = append(kinds, k)
+			weights = append(weights, w)
+			total += w
+		}
+	}
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	return kinds, cum
+}
+
+// InsertClockTree adds a CLK primary input and a balanced CLKBUF tree
+// with the given branching factor whose leaf nets clock the flip-flops
+// (the paper's circuits have "a clock buffer tree added"). All tree
+// nets are marked as clock nets.
+func InsertClockTree(c *netlist.Circuit, branching int) error {
+	if branching < 2 {
+		return fmt.Errorf("circuitgen: clock branching must be >= 2, got %d", branching)
+	}
+	var ffs []*netlist.Cell
+	for _, cell := range c.Cells {
+		if cell.Kind == netlist.DFF {
+			ffs = append(ffs, cell)
+		}
+	}
+	if len(ffs) == 0 {
+		return nil
+	}
+	root := c.AddNet("CLK")
+	c.MarkPI(root)
+	c.Net(root).IsClock = true
+	c.ClockRoot = root
+
+	// Build levels of buffers until leaves cover all flip-flops with at
+	// most `branching` FFs per leaf.
+	level := []netlist.NetID{root}
+	buf := 0
+	for len(level)*branching < (len(ffs)+branching-1)/branching*branching && len(level) < len(ffs) {
+		var next []netlist.NetID
+		for _, src := range level {
+			for b := 0; b < branching; b++ {
+				out := c.AddNet(fmt.Sprintf("CLKB%d", buf))
+				c.Net(out).IsClock = true
+				name := fmt.Sprintf("cb%d", buf)
+				buf++
+				if _, err := c.AddCell(name, netlist.CLKBUF, []netlist.NetID{src}, out); err != nil {
+					return err
+				}
+				next = append(next, out)
+			}
+			if len(next) >= (len(ffs)+branching-1)/branching {
+				break
+			}
+		}
+		level = next
+		if len(level) >= (len(ffs)+branching-1)/branching {
+			break
+		}
+	}
+	// Assign flip-flops to leaves round-robin.
+	for i, ff := range ffs {
+		ff.Clock = level[i%len(level)]
+	}
+	return nil
+}
+
+// Preset identifies one of the paper's benchmark circuits.
+type Preset string
+
+// The three ISCAS89 circuits of the paper's Tables 1–3.
+const (
+	S35932Like Preset = "s35932"
+	S38417Like Preset = "s38417"
+	S38584Like Preset = "s38584"
+)
+
+// PresetParams returns generation parameters reproducing the statistics
+// of the named ISCAS89 circuit (cell counts from the paper's table
+// captions; FF counts and I/O from the benchmark documentation; depth
+// from published level statistics).
+func PresetParams(p Preset) (Params, error) {
+	switch p {
+	case S35932Like:
+		return Params{
+			Name: "s35932", Seed: 35932,
+			Cells: 17900, DFFs: 1728, PIs: 35, POs: 320,
+			Depth: 12, ClockFanout: 8,
+		}, nil
+	case S38417Like:
+		return Params{
+			Name: "s38417", Seed: 38417,
+			Cells: 23922, DFFs: 1636, PIs: 28, POs: 106,
+			Depth: 33, ClockFanout: 8,
+		}, nil
+	case S38584Like:
+		return Params{
+			Name: "s38584", Seed: 38584,
+			Cells: 20812, DFFs: 1426, PIs: 38, POs: 304,
+			Depth: 40, ClockFanout: 8,
+		}, nil
+	}
+	return Params{}, fmt.Errorf("circuitgen: unknown preset %q", p)
+}
+
+// GeneratePreset builds one of the paper's benchmark circuits. scale in
+// (0, 1] shrinks the cell and FF counts proportionally — the benchmark
+// harness uses reduced sizes for quick runs and full size for the
+// table reproduction.
+func GeneratePreset(p Preset, scale float64) (*netlist.Circuit, error) {
+	params, err := PresetParams(p)
+	if err != nil {
+		return nil, err
+	}
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("circuitgen: scale must be in (0,1], got %g", scale)
+	}
+	if scale < 1 {
+		params.Cells = int(float64(params.Cells) * scale)
+		params.DFFs = int(float64(params.DFFs) * scale)
+		if params.DFFs < 1 {
+			params.DFFs = 1
+		}
+		params.POs = int(float64(params.POs)*scale) + 1
+		params.Name = fmt.Sprintf("%s@%.2f", params.Name, scale)
+	}
+	return Generate(params)
+}

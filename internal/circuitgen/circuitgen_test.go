@@ -1,0 +1,233 @@
+package circuitgen
+
+import (
+	"testing"
+
+	"xtalksta/internal/netlist"
+)
+
+func TestGenerateSmall(t *testing.T) {
+	c, err := Generate(Params{Name: "t", Seed: 1, Cells: 200, DFFs: 20, PIs: 8, POs: 8, Depth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != 200 {
+		t.Errorf("cells = %d, want 200", st.Cells)
+	}
+	if st.DFFs != 20 {
+		t.Errorf("DFFs = %d, want 20", st.DFFs)
+	}
+	if st.LogicDepth < 5 || st.LogicDepth > 12 {
+		t.Errorf("depth = %d, want near 10", st.LogicDepth)
+	}
+	if st.PIs != 8 {
+		t.Errorf("PIs = %d", st.PIs)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{Name: "t", Seed: 42, Cells: 300, DFFs: 30, PIs: 8, POs: 8, Depth: 8}
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) || len(a.Nets) != len(b.Nets) {
+		t.Fatal("sizes differ across runs with same seed")
+	}
+	for i := range a.Cells {
+		ca, cb := a.Cells[i], b.Cells[i]
+		if ca.Kind != cb.Kind || len(ca.In) != len(cb.In) || ca.Out != cb.Out {
+			t.Fatalf("cell %d differs: %+v vs %+v", i, ca, cb)
+		}
+		for j := range ca.In {
+			if ca.In[j] != cb.In[j] {
+				t.Fatalf("cell %d input %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, err := Generate(Params{Seed: 1, Cells: 200, DFFs: 10, Depth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Params{Seed: 2, Cells: 200, DFFs: 10, Depth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Cells {
+		if i >= len(b.Cells) || a.Cells[i].Kind != b.Cells[i].Kind {
+			same = false
+			break
+		}
+		for j := range a.Cells[i].In {
+			if j >= len(b.Cells[i].In) || a.Cells[i].In[j] != b.Cells[i].In[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical circuits")
+	}
+}
+
+func TestEveryNetDrivenOrPI(t *testing.T) {
+	c, err := Generate(Params{Seed: 3, Cells: 500, DFFs: 40, Depth: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nets {
+		if n.Driver == netlist.NoCell && !n.IsPI {
+			t.Errorf("net %s undriven and not a PI", n.Name)
+		}
+	}
+}
+
+func TestEveryCellReachable(t *testing.T) {
+	// Every net should either have fanout or be a PO — no dead logic
+	// invisible to the timing graph.
+	c, err := Generate(Params{Seed: 4, Cells: 400, DFFs: 30, Depth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nets {
+		if len(n.Fanout) == 0 && !n.IsPO {
+			t.Errorf("net %s has no fanout and is not a PO", n.Name)
+		}
+	}
+}
+
+func TestClockTree(t *testing.T) {
+	c, err := Generate(Params{Seed: 5, Cells: 300, DFFs: 64, Depth: 8, ClockFanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ClockRoot == netlist.NoNet {
+		t.Fatal("no clock root")
+	}
+	if !c.Net(c.ClockRoot).IsClock {
+		t.Error("clock root not marked as clock net")
+	}
+	nClkBuf := 0
+	for _, cell := range c.Cells {
+		if cell.Kind == netlist.CLKBUF {
+			nClkBuf++
+			if !c.Net(cell.Out).IsClock {
+				t.Errorf("clock buffer %s output not marked clock", cell.Name)
+			}
+		}
+		if cell.Kind == netlist.DFF && cell.Clock == netlist.NoNet {
+			t.Errorf("DFF %s has no clock", cell.Name)
+		}
+	}
+	if nClkBuf == 0 {
+		t.Error("no clock buffers inserted")
+	}
+}
+
+func TestGenerateValidatesParams(t *testing.T) {
+	if _, err := Generate(Params{Cells: 0}); err == nil {
+		t.Error("Cells=0 must error")
+	}
+	if _, err := Generate(Params{Cells: 10, DFFs: 10}); err == nil {
+		t.Error("DFFs >= Cells must error")
+	}
+	if _, err := Generate(Params{Cells: 100, DFFs: 5, GateMix: map[netlist.GateKind]float64{netlist.DFF: 1}}); err == nil {
+		t.Error("DFF in gate mix must error")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, preset := range []Preset{S35932Like, S38417Like, S38584Like} {
+		params, err := PresetParams(preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if params.Cells < 15000 {
+			t.Errorf("%s: cells = %d, implausibly small", preset, params.Cells)
+		}
+	}
+	if _, err := PresetParams("bogus"); err == nil {
+		t.Error("unknown preset must error")
+	}
+}
+
+func TestGeneratePresetScaled(t *testing.T) {
+	c, err := GeneratePreset(S35932Like, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells < 250 || st.Cells > 450 {
+		t.Errorf("scaled cells = %d, want ~358", st.Cells)
+	}
+	if st.DFFs < 20 {
+		t.Errorf("scaled DFFs = %d", st.DFFs)
+	}
+	if _, err := GeneratePreset(S35932Like, 0); err == nil {
+		t.Error("scale 0 must error")
+	}
+	if _, err := GeneratePreset(S35932Like, 1.5); err == nil {
+		t.Error("scale > 1 must error")
+	}
+}
+
+func TestGeneratedCircuitLowers(t *testing.T) {
+	c, err := Generate(Params{Seed: 6, Cells: 300, DFFs: 20, Depth: 8, ClockFanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netlist.Lower(c); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells < 300 {
+		t.Errorf("lowering should not shrink the circuit: %d", st.Cells)
+	}
+}
+
+func TestFullPresetSizeGeneratesQuickly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size generation in -short mode")
+	}
+	c, err := GeneratePreset(S35932Like, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	logicCells := st.Cells - st.ByKind[netlist.CLKBUF]
+	if logicCells != 17900 {
+		t.Errorf("logic cells = %d, want 17900 (paper Table 1; clock buffers come on top)", logicCells)
+	}
+	if st.DFFs != 1728 {
+		t.Errorf("DFFs = %d, want 1728", st.DFFs)
+	}
+}
+
+func BenchmarkGenerate2k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Params{Seed: 9, Cells: 2000, DFFs: 150, Depth: 14}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import "testing"
+
+func TestReportHoldBasics(t *testing.T) {
+	c, calc := buildExtracted(t, 140, 12, 7, 901)
+	eng, err := NewEngine(c, calc, Options{Mode: BestCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.ReportHold(50e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Endpoints) == 0 {
+		t.Fatal("no endpoints")
+	}
+	for i := 1; i < len(rep.Endpoints); i++ {
+		if rep.Endpoints[i].Slack() < rep.Endpoints[i-1].Slack() {
+			t.Fatal("not sorted by slack")
+		}
+	}
+	// Every hold arrival must be at most the corresponding setup
+	// arrival (min ≤ max).
+	setup, err := eng.Report(100e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupArr := map[string]float64{}
+	for _, ep := range setup.Endpoints {
+		setupArr[ep.Net] = ep.Arrival
+	}
+	for _, ep := range rep.Endpoints {
+		if max, ok := setupArr[ep.Net]; ok && ep.Arrival > max+1e-12 {
+			t.Errorf("endpoint %s: earliest %v after latest %v", ep.Net, ep.Arrival, max)
+		}
+	}
+	// With DFF launches at clk-to-Q (~300 ps) plus a gate, a 50 ps hold
+	// is comfortably met in this circuit.
+	if v := rep.Violations(); len(v) != 0 {
+		t.Errorf("unexpected hold violations: %d (worst %v)", len(v), rep.WorstSlack())
+	}
+	// An absurd hold requirement must produce violations.
+	bad, err := eng.ReportHold(20e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad.Violations()) == 0 {
+		t.Error("20 ns hold should violate everywhere")
+	}
+	if bad.WorstSlack() >= 0 {
+		t.Error("worst slack should be negative")
+	}
+}
+
+func TestReportHoldValidation(t *testing.T) {
+	c, calc := buildExtracted(t, 100, 8, 6, 902)
+	eng, err := NewEngine(c, calc, Options{Mode: BestCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ReportHold(-1); err == nil {
+		t.Error("negative hold time must error")
+	}
+}

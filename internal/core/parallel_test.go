@@ -1,0 +1,66 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"xtalksta/internal/netlist"
+)
+
+// TestParallelMatchesSequential: every mode must produce bit-identical
+// results regardless of worker count.
+func TestParallelMatchesSequential(t *testing.T) {
+	c, calc := buildExtracted(t, 200, 16, 8, 701)
+	for _, m := range Modes() {
+		seq := runMode(t, c, calc, Options{Mode: m, Workers: 1})
+		par := runMode(t, c, calc, Options{Mode: m, Workers: runtime.NumCPU()})
+		if seq.LongestPath != par.LongestPath {
+			t.Errorf("%s: parallel %v != sequential %v", m, par.LongestPath, seq.LongestPath)
+		}
+		if seq.Endpoint.Net != par.Endpoint.Net {
+			t.Errorf("%s: endpoints differ: %s vs %s", m, seq.Endpoint.Net, par.Endpoint.Net)
+		}
+		if len(seq.Path) != len(par.Path) {
+			t.Errorf("%s: path lengths differ", m)
+			continue
+		}
+		for i := range seq.Path {
+			if seq.Path[i] != par.Path[i] {
+				t.Errorf("%s: path step %d differs", m, i)
+			}
+		}
+	}
+}
+
+// TestParallelRace runs the engine under the race detector (effective
+// only with -race, harmless otherwise).
+func TestParallelRace(t *testing.T) {
+	c, calc := buildExtracted(t, 150, 12, 8, 702)
+	res := runMode(t, c, calc, Options{Mode: Iterative, Workers: 8})
+	if res.LongestPath <= 0 {
+		t.Fatal("no result")
+	}
+}
+
+// TestNetRanksRespectLevels: a cell's output rank must exceed every
+// input's rank (within its phase), the invariant the level-based
+// neighbor rule depends on.
+func TestNetRanksRespectLevels(t *testing.T) {
+	c, calc := buildExtracted(t, 150, 12, 8, 703)
+	eng, err := NewEngine(c, calc, Options{Mode: OneStep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range c.Cells {
+		if cell.Kind == netlist.DFF {
+			continue
+		}
+		outRank := eng.netRank[cell.Out]
+		for _, in := range cell.In {
+			if eng.netRank[in] >= outRank {
+				t.Fatalf("cell %s: input rank %d >= output rank %d",
+					cell.Name, eng.netRank[in], outRank)
+			}
+		}
+	}
+}

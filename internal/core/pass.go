@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"xtalksta/internal/ccc"
+	"xtalksta/internal/coupling"
+	"xtalksta/internal/delaycalc"
+	"xtalksta/internal/netlist"
+)
+
+// pass performs one full breadth-first timing sweep (§4/§5). The mode
+// fixes how coupling caps enter each arc's load:
+//
+//   - quietPrev == nil: first pass (or single-pass modes). In OneStep,
+//     neighbors not yet calculated in this pass couple (worst case).
+//   - quietPrev != nil: refinement pass (Iterative). Every neighbor has
+//     a stored quiescent time, so no uncalculated-wire assumption is
+//     needed (§5.2).
+//
+// critical (optional) limits recalculation to flagged nets (Esperance);
+// skipped nets carry their state over from prev so downstream cells
+// still see valid (conservative) arrivals.
+func (e *Engine) pass(mode Mode, quietPrev [][2]float64, critical []bool, prev []netState) ([]netState, error) {
+	c := e.C
+	st := make([]netState, len(c.Nets))
+	for i := range st {
+		if critical != nil && !critical[i] && prev != nil && prev[i].calculated {
+			st[i] = prev[i]
+			continue
+		}
+		st[i].arrival = [2]float64{math.Inf(-1), math.Inf(-1)}
+		st[i].quiet = [2]float64{math.Inf(-1), math.Inf(-1)}
+	}
+
+	// Seed primary inputs: both transitions can occur at t = 0 with the
+	// configured board-level slew.
+	for _, pi := range c.PIs {
+		s := &st[pi-1]
+		for d := 0; d < 2; d++ {
+			s.arrival[d] = 0
+			s.slew[d] = e.opts.PISlew
+			s.quiet[d] = e.opts.PISlew / 2
+		}
+		s.calculated = true
+	}
+
+	// Phase 1: clock tree (cells whose output is a clock net), level
+	// by level. Clock nets behave like any other net for coupling
+	// purposes.
+	doCell := func(cell *netlist.Cell) error {
+		return e.processCell(mode, st, quietPrev, critical, cell)
+	}
+	if err := e.runLevels(e.clockLevels, e.opts.Workers, doCell); err != nil {
+		return nil, err
+	}
+
+	// Seed flip-flop outputs: launched by the rising clock edge at the
+	// flip-flop's clock-pin arrival plus clock-to-Q.
+	for _, cell := range c.Cells {
+		if cell.Kind != netlist.DFF {
+			continue
+		}
+		launch := ccc.DFFClkToQ()
+		if cell.Clock != netlist.NoNet {
+			cs := &st[cell.Clock-1]
+			if cs.calculated && !math.IsInf(cs.arrival[dirRise], -1) {
+				pr := netlist.PinRef{Cell: cell.ID, Pin: layoutClockPin}
+				launch += cs.arrival[dirRise] + c.Net(cell.Clock).Par.SinkWireDelay[pr]
+			}
+		}
+		s := &st[cell.Out-1]
+		for d := 0; d < 2; d++ {
+			if launch > s.arrival[d] {
+				s.arrival[d] = launch
+				s.slew[d] = e.opts.DFFOutSlew
+				s.quiet[d] = launch + e.opts.DFFOutSlew/2
+				s.pred[d] = arcPred{} // launch point
+			}
+		}
+		s.calculated = true
+	}
+
+	// Phase 2: combinational sweep, level by level.
+	if err := e.runLevels(e.mainLevels, e.opts.Workers, doCell); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// processCell evaluates all timing arcs of one cell and updates its
+// output net's state.
+func (e *Engine) processCell(mode Mode, st []netState, quietPrev [][2]float64, critical []bool, cell *netlist.Cell) error {
+	out := cell.Out
+	s := &st[out-1]
+	inf := &e.info[out-1]
+
+	if critical != nil && !critical[out-1] {
+		// Esperance skip: the net keeps the previous pass's state
+		// (seeded in pass), which is a valid upper bound.
+		return nil
+	}
+
+	for dOut := 0; dOut < 2; dOut++ {
+		dIn := 1 - dOut // inverting primitives
+		bestArr := math.Inf(-1)
+		bestSlew := 0.0
+		bestPred := arcPred{}
+		quiet := math.Inf(-1)
+		for pin, inNet := range cell.In {
+			is := &st[inNet-1]
+			if !is.calculated || math.IsInf(is.arrival[dIn], -1) {
+				continue
+			}
+			pr := netlist.PinRef{Cell: cell.ID, Pin: pin}
+			inArr := is.arrival[dIn]
+			if !e.opts.PiModel {
+				// Lumped model: the wire delay to this pin is the
+				// Elmore term (paper §2); with the π-model the arrival
+				// is already at the receiving end.
+				inArr += e.C.Net(inNet).Par.SinkWireDelay[pr]
+			}
+			inSlew := is.slew[dIn]
+			if inSlew <= 0 {
+				inSlew = e.opts.PISlew
+			}
+
+			res, err := e.evalArc(mode, st, quietPrev, cell, pin, dOut, inArr, inSlew)
+			if err != nil {
+				return err
+			}
+			arr := inArr + res.Delay
+			if arr > bestArr {
+				bestArr = arr
+				bestSlew = res.OutSlew
+				bestPred = arcPred{valid: true, cell: cell.ID, fromNet: inNet, fromDir: dIn}
+			}
+			if done := inArr + res.Completion; done > quiet {
+				quiet = done
+			}
+		}
+		if !math.IsInf(bestArr, -1) {
+			s.arrival[dOut] = bestArr
+			s.slew[dOut] = bestSlew
+			s.quiet[dOut] = quiet
+			if !e.opts.PiModel {
+				s.quiet[dOut] += inf.maxSinkElmore
+			}
+			s.pred[dOut] = bestPred
+		}
+	}
+	s.calculated = true
+	return nil
+}
+
+// evalArc computes one timing arc under the mode's coupling treatment.
+func (e *Engine) evalArc(mode Mode, st []netState, quietPrev [][2]float64,
+	cell *netlist.Cell, pin, dOut int, inArr, inSlew float64) (delaycalc.Result, error) {
+
+	out := cell.Out
+	inf := &e.info[out-1]
+	req := delaycalc.Request{
+		Kind:     cell.Kind,
+		NIn:      len(cell.In),
+		Pin:      pin,
+		Dir:      dirOf(dOut),
+		InSlew:   inSlew,
+		SizeMult: inf.sizeMult,
+	}
+	// load splits a grounded load between the request's near and far
+	// fields. Lumped (paper): everything in CLoad. π-model extension:
+	// half the wire cap stays at the driver, the rest moves behind the
+	// wire resistance.
+	load := func(r *delaycalc.Request, grounded float64) {
+		if e.opts.PiModel && inf.rwire > 0 {
+			r.CLoad = inf.cwire / 2
+			r.CFar = grounded - inf.cwire/2
+			r.RWire = inf.rwire
+			return
+		}
+		r.CLoad = grounded
+	}
+
+	switch mode {
+	case BestCase:
+		load(&req, inf.baseCap+inf.sumCc)
+		return e.Calc.Eval(req)
+	case StaticDoubled:
+		load(&req, inf.baseCap+2*inf.sumCc)
+		return e.Calc.Eval(req)
+	case WorstCase:
+		load(&req, inf.baseCap)
+		req.CCouple = inf.sumCc
+		return e.Calc.Eval(req)
+	case OneStep, Iterative:
+		if inf.sumCc == 0 {
+			load(&req, inf.baseCap)
+			return e.Calc.Eval(req)
+		}
+		// Step 1 (§5.1): best-case waveform with all neighbors quiet
+		// fixes t_bcs — the earliest the victim could reach Vth.
+		bcs := req
+		load(&bcs, inf.baseCap+inf.sumCc)
+		bcsRes, err := e.Calc.Eval(bcs)
+		if err != nil {
+			return delaycalc.Result{}, err
+		}
+		tBCS := inArr + bcsRes.TimeToRestart
+
+		// Step 2: classify each adjacent wire.
+		dAggressor := 1 - dOut // opposite transition couples
+		// Windows extension: the victim is only sensitive until its own
+		// previous-pass quiescent time.
+		victimQuiet := math.Inf(1)
+		if e.earliestStart != nil && quietPrev != nil {
+			if q := quietPrev[out-1][dOut]; !math.IsInf(q, -1) {
+				victimQuiet = q
+			}
+		}
+		ccActive := 0.0
+		for _, cp := range inf.couplings {
+			var calculated bool
+			var quietAt float64
+			if quietPrev != nil {
+				calculated = true
+				quietAt = quietPrev[cp.Other-1][dAggressor]
+				if math.IsInf(quietAt, -1) {
+					// The neighbor never switches in that direction:
+					// it cannot couple.
+					calculated, quietAt = true, math.Inf(-1)
+				}
+			} else {
+				// Level-based rule (order-independent; see parallel.go):
+				// a neighbor is calculated when its driver's level is
+				// strictly below this cell's, so its state is frozen.
+				calculated = e.netCalculatedAt(cp.Other, e.netRank[out])
+				if calculated {
+					quietAt = st[cp.Other-1].quiet[dAggressor]
+				}
+			}
+			couples := coupling.ShouldCouple(calculated, quietAt, tBCS)
+			if couples && e.earliestStart != nil && quietPrev != nil {
+				// Windows extension: an aggressor that cannot become
+				// active before the victim is done cannot couple.
+				if e.earliestStart[cp.Other-1][dAggressor] >= victimQuiet {
+					couples = false
+				}
+			}
+			if couples {
+				ccActive += cp.C
+			}
+		}
+		// Step 3: worst-case waveform with the active subset coupling.
+		load(&req, inf.baseCap+(inf.sumCc-ccActive))
+		req.CCouple = ccActive
+		return e.Calc.Eval(req)
+	}
+	return delaycalc.Result{}, fmt.Errorf("core: evalArc: unknown mode %d", int(mode))
+}

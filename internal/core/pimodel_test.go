@@ -1,0 +1,56 @@
+package core
+
+import "testing"
+
+func TestPiModelTightensBound(t *testing.T) {
+	// Resistive shielding makes the effective load the driver sees
+	// smaller than the lumped total, and the Elmore wire delay the
+	// lumped flow adds is itself an overestimate (paper §2 concedes
+	// both). The π-model result should therefore come out at or below
+	// the lumped one, while staying positive and plausible.
+	c, calc := buildExtracted(t, 180, 16, 8, 401)
+	lumped := runMode(t, c, calc, Options{Mode: WorstCase})
+	pi := runMode(t, c, calc, Options{Mode: WorstCase, PiModel: true})
+	if pi.LongestPath <= 0 {
+		t.Fatal("π-model produced no path")
+	}
+	if pi.LongestPath > lumped.LongestPath*1.05 {
+		t.Errorf("π-model (%v) should not exceed the lumped+Elmore bound (%v)",
+			pi.LongestPath, lumped.LongestPath)
+	}
+	if pi.LongestPath < lumped.LongestPath*0.4 {
+		t.Errorf("π-model (%v) implausibly far below lumped (%v)", pi.LongestPath, lumped.LongestPath)
+	}
+}
+
+func TestPiModelAllModes(t *testing.T) {
+	c, calc := buildExtracted(t, 140, 12, 7, 402)
+	var prevBest, prevWorst float64
+	for _, m := range Modes() {
+		res := runMode(t, c, calc, Options{Mode: m, PiModel: true})
+		if res.LongestPath <= 0 {
+			t.Fatalf("%s with π-model: no path", m)
+		}
+		switch m {
+		case BestCase:
+			prevBest = res.LongestPath
+		case WorstCase:
+			prevWorst = res.LongestPath
+		}
+	}
+	if prevBest >= prevWorst {
+		t.Errorf("π-model ordering broken: best %v !< worst %v", prevBest, prevWorst)
+	}
+}
+
+func TestPiModelIterativeStillBounded(t *testing.T) {
+	c, calc := buildExtracted(t, 140, 12, 7, 403)
+	best := runMode(t, c, calc, Options{Mode: BestCase, PiModel: true})
+	iter := runMode(t, c, calc, Options{Mode: Iterative, PiModel: true})
+	worst := runMode(t, c, calc, Options{Mode: WorstCase, PiModel: true})
+	tol := 0.03 * worst.LongestPath
+	if iter.LongestPath < best.LongestPath-tol || iter.LongestPath > worst.LongestPath+tol {
+		t.Errorf("π-model iterative (%v) outside [best %v, worst %v]",
+			iter.LongestPath, best.LongestPath, worst.LongestPath)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"xtalksta/internal/ccc"
+	"xtalksta/internal/netlist"
+)
+
+func TestTimingReportBasics(t *testing.T) {
+	c, calc := buildExtracted(t, 150, 12, 8, 601)
+	eng, err := NewEngine(c, calc, Options{Mode: OneStep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := run.LongestPath * 1.2
+	rep, err := eng.Report(period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Endpoints) == 0 {
+		t.Fatal("no endpoints in report")
+	}
+	// Sorted worst-first.
+	for i := 1; i < len(rep.Endpoints); i++ {
+		if rep.Endpoints[i].Slack(period) < rep.Endpoints[i-1].Slack(period) {
+			t.Fatal("endpoints not sorted by slack")
+		}
+	}
+	// The worst endpoint's arrival must match the analysis result.
+	worst := rep.Endpoints[0]
+	wantArr := run.LongestPath
+	// DFF endpoints carry setup on top, so compare arrivals only.
+	if diff := worst.Arrival - wantArr; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("worst endpoint arrival %v != longest path %v", worst.Arrival, wantArr)
+	}
+}
+
+func TestTimingReportSlacksAndViolations(t *testing.T) {
+	c, calc := buildExtracted(t, 120, 10, 6, 602)
+	eng, err := NewEngine(c, calc, Options{Mode: BestCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous period: no violations; WNS positive.
+	repOK, err := eng.Report(run.LongestPath * 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repOK.Violations()) != 0 {
+		t.Errorf("unexpected violations at 2x period: %d", len(repOK.Violations()))
+	}
+	if repOK.WNS() <= 0 {
+		t.Errorf("WNS should be positive at 2x period: %v", repOK.WNS())
+	}
+	if repOK.TNS() != 0 {
+		t.Errorf("TNS should be zero with no violations: %v", repOK.TNS())
+	}
+	// Tight period: violations; DFF endpoints also charge setup.
+	repBad, err := eng.Report(run.LongestPath / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repBad.Violations()) == 0 {
+		t.Error("expected violations at half period")
+	}
+	if repBad.WNS() >= 0 || repBad.TNS() >= 0 {
+		t.Errorf("WNS/TNS must be negative: %v / %v", repBad.WNS(), repBad.TNS())
+	}
+	// Every DFF endpoint must carry the setup requirement.
+	for _, ep := range repBad.Endpoints {
+		if ep.Kind == "DFF/D" && ep.Setup != ccc.DFFSetup() {
+			t.Errorf("endpoint %s missing setup", ep.Net)
+		}
+		if ep.Kind == "PO" && ep.Setup != 0 {
+			t.Errorf("PO endpoint %s has setup", ep.Net)
+		}
+	}
+}
+
+func TestTimingReportRender(t *testing.T) {
+	c, calc := buildExtracted(t, 120, 10, 6, 603)
+	eng, err := NewEngine(c, calc, Options{Mode: BestCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Report(5e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rep.Render(&sb, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"WNS", "TNS", "Endpoint", "Arrival"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	// Top-k limit respected: header(4 lines) + at most 5 rows.
+	if lines := strings.Count(out, "\n"); lines > 9 {
+		t.Errorf("too many lines for k=5: %d", lines)
+	}
+}
+
+func TestReportInvalidPeriod(t *testing.T) {
+	c, calc := buildExtracted(t, 100, 8, 6, 604)
+	eng, err := NewEngine(c, calc, Options{Mode: BestCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Report(0); err == nil {
+		t.Error("period 0 must error")
+	}
+}
+
+func TestExportSDF(t *testing.T) {
+	c, calc := buildExtracted(t, 80, 6, 5, 605)
+	eng, err := NewEngine(c, calc, Options{Mode: BestCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := eng.ExportSDF(&sb, "tiny"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"(DELAYFILE", "(SDFVERSION \"3.0\")", "(DESIGN \"tiny\")", "(IOPATH in0 out ("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SDF missing %q", want)
+		}
+	}
+	// Every combinational cell appears; DFFs do not.
+	nCells := strings.Count(out, "(CELL ")
+	comb := 0
+	for _, cell := range c.Cells {
+		if cell.Kind != netlist.DFF {
+			comb++
+		}
+	}
+	if nCells != comb {
+		t.Errorf("SDF cells = %d, want %d", nCells, comb)
+	}
+	if strings.Contains(out, "DFF") {
+		t.Error("DFFs must not appear in the SDF")
+	}
+	// min <= max in every triple is guaranteed by construction; spot
+	// check the format: "(x:x:y)" triples exist.
+	if !strings.Contains(out, ":") {
+		t.Error("no delay triples")
+	}
+}

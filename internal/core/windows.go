@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+
+	"xtalksta/internal/ccc"
+	"xtalksta/internal/delaycalc"
+	"xtalksta/internal/netlist"
+)
+
+// Activity windows (extension beyond the paper).
+//
+// The paper's one-step rule uses only the *latest* activity bound: a
+// neighbor couples when its quiescent time lies after the victim's
+// earliest activity t_bcs. The complementary bound — a neighbor cannot
+// couple before its own *earliest* possible activity — was out of the
+// paper's scope and became standard in later SI timers (timing
+// windows). With windows, an aggressor couples only when
+//
+//	[aggEarliestStart, aggQuiet]  ∩  [t_bcs, victimQuiet] ≠ ∅.
+//
+// The earliest bound below is computed with best-case (uncoupled) arc
+// delays. A strictly sound lower bound would also credit same-direction
+// coupling speedup; like production window-based timers, this trades a
+// sliver of formal conservatism for bound tightness, and the golden
+// path simulations in the test suite check the result stays an upper
+// bound in practice.
+
+// minPass computes earliest transition-start times per (net, dir): the
+// earliest moment the line's voltage can begin to move.
+func (e *Engine) minPass() ([][2]float64, error) {
+	c := e.C
+	early := make([][2]float64, len(c.Nets))
+	slews := make([][2]float64, len(c.Nets))
+	done := make([]bool, len(c.Nets))
+	for i := range early {
+		early[i] = [2]float64{math.Inf(1), math.Inf(1)}
+	}
+	for _, pi := range c.PIs {
+		early[pi-1] = [2]float64{0, 0}
+		slews[pi-1] = [2]float64{e.opts.PISlew, e.opts.PISlew}
+		done[pi-1] = true
+	}
+
+	process := func(cell *netlist.Cell) error {
+		out := cell.Out
+		inf := &e.info[out-1]
+		for dOut := 0; dOut < 2; dOut++ {
+			dIn := 1 - dOut
+			bestArr := math.Inf(1)
+			bestSlew := 0.0
+			for pin, inNet := range cell.In {
+				if !done[inNet-1] || math.IsInf(early[inNet-1][dIn], 1) {
+					continue
+				}
+				pr := netlist.PinRef{Cell: cell.ID, Pin: pin}
+				inArr := early[inNet-1][dIn]
+				if !e.opts.PiModel {
+					inArr += c.Net(inNet).Par.SinkWireDelay[pr]
+				}
+				inSlew := slews[inNet-1][dIn]
+				if inSlew <= 0 {
+					inSlew = e.opts.PISlew
+				}
+				// Fastest plausible conditions: coupling caps grounded
+				// at face value (neighbors quiet).
+				res, err := e.Calc.Eval(delaycalc.Request{
+					Kind: cell.Kind, NIn: len(cell.In), Pin: pin, Dir: dirOf(dOut),
+					InSlew: inSlew, CLoad: inf.baseCap + inf.sumCc, SizeMult: inf.sizeMult,
+				})
+				if err != nil {
+					return err
+				}
+				if a := inArr + res.Delay; a < bestArr {
+					bestArr = a
+					bestSlew = res.OutSlew
+				}
+			}
+			if !math.IsInf(bestArr, 1) {
+				early[out-1][dOut] = bestArr
+				slews[out-1][dOut] = bestSlew
+			}
+		}
+		done[out-1] = true
+		return nil
+	}
+
+	// Clock tree first, then flip-flop launches, then the rest —
+	// mirroring the max pass.
+	for _, cid := range e.order {
+		cell := c.Cell(cid)
+		if !c.Net(cell.Out).IsClock {
+			continue
+		}
+		if err := process(cell); err != nil {
+			return nil, err
+		}
+	}
+	for _, cell := range c.Cells {
+		if cell.Kind != netlist.DFF {
+			continue
+		}
+		launch := ccc.DFFClkToQ()
+		if cell.Clock != netlist.NoNet && done[cell.Clock-1] && !math.IsInf(early[cell.Clock-1][dirRise], 1) {
+			pr := netlist.PinRef{Cell: cell.ID, Pin: layoutClockPin}
+			launch += early[cell.Clock-1][dirRise] + c.Net(cell.Clock).Par.SinkWireDelay[pr]
+		}
+		for d := 0; d < 2; d++ {
+			if launch < early[cell.Out-1][d] {
+				early[cell.Out-1][d] = launch
+				slews[cell.Out-1][d] = e.opts.DFFOutSlew
+			}
+		}
+		done[cell.Out-1] = true
+	}
+	for _, cid := range e.order {
+		cell := c.Cell(cid)
+		if c.Net(cell.Out).IsClock {
+			continue
+		}
+		if err := process(cell); err != nil {
+			return nil, err
+		}
+	}
+
+	// Convert 50%-arrival to transition start.
+	for i := range early {
+		for d := 0; d < 2; d++ {
+			if !math.IsInf(early[i][d], 1) {
+				early[i][d] -= slews[i][d] / 2
+			}
+		}
+	}
+	return early, nil
+}

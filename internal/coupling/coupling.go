@@ -1,0 +1,116 @@
+// Package coupling implements the paper's three-step coupling delay
+// model (§2). For a rising victim transition:
+//
+//  1. While the aggressor is quiet the coupling capacitance Cc is
+//     passive (treated as grounded) and the victim charges normally.
+//  2. When the victim voltage reaches Vc = Vth + VDD·Cc/(Cc+Cgnd), the
+//     worst-case aggressor — an instantaneous VDD drop — fires. The
+//     capacitive divider Cc/(Cc+Cgnd) pulls the victim down by exactly
+//     VDD·Cc/(Cc+Cgnd), i.e. back to Vth.
+//  3. The coupling capacitance is passive again and the victim
+//     recharges from Vth; the waveform before the event is discarded
+//     ("the waveforms start with the value of Vth"), which keeps every
+//     propagated waveform monotone.
+//
+// Falling victims mirror the picture around VDD/2. The aggressor's
+// actual waveform never needs to be computed — only whether it can be
+// active — which is what makes the model usable inside static timing
+// analysis.
+package coupling
+
+import "fmt"
+
+// Model carries the two voltages that define the coupling model.
+type Model struct {
+	// VDD is the supply.
+	VDD float64
+	// Vth is the restart voltage. The paper picks 0.2 V — deliberately
+	// below the 0.6 V transistor threshold so the choice itself does
+	// not affect the computed delay (the gate is still off at Vth).
+	Vth float64
+}
+
+// NewModel validates and builds a Model.
+func NewModel(vdd, vth float64) (Model, error) {
+	if vdd <= 0 {
+		return Model{}, fmt.Errorf("coupling: VDD must be positive, got %g", vdd)
+	}
+	if vth <= 0 || vth >= vdd/2 {
+		return Model{}, fmt.Errorf("coupling: Vth must be in (0, VDD/2), got %g", vth)
+	}
+	return Model{VDD: vdd, Vth: vth}, nil
+}
+
+// Event describes the instantaneous coupling drop applied to a victim
+// waveform: when the victim crosses Trigger (in its transition
+// direction), its voltage is reset to Restart.
+type Event struct {
+	Trigger float64
+	Restart float64
+}
+
+// DividerDrop returns the voltage change a VDD step on the aggressor
+// induces through the capacitive divider: VDD·Cc/(Cc+Cgnd).
+func (m Model) DividerDrop(ccActive, cGnd float64) float64 {
+	if ccActive <= 0 {
+		return 0
+	}
+	return m.VDD * ccActive / (ccActive + cGnd)
+}
+
+// RisingEvent returns the coupling event for a rising victim whose
+// active (opposite-switching) coupling capacitance totals ccActive and
+// whose remaining grounded load is cGnd. ok is false when there is no
+// active coupling. When the divider drop is so large that the nominal
+// trigger would exceed VDD, the trigger is clamped just below VDD and
+// the restart moves below Vth accordingly — the event stays exactly one
+// divider drop tall.
+func (m Model) RisingEvent(ccActive, cGnd float64) (Event, bool) {
+	drop := m.DividerDrop(ccActive, cGnd)
+	if drop <= 0 {
+		return Event{}, false
+	}
+	trigger := m.Vth + drop
+	maxTrigger := 0.98 * m.VDD
+	if trigger > maxTrigger {
+		trigger = maxTrigger
+	}
+	restart := trigger - drop
+	if restart < 0 {
+		restart = 0
+	}
+	return Event{Trigger: trigger, Restart: restart}, true
+}
+
+// FallingEvent mirrors RisingEvent for a falling victim: the aggressor
+// rises by VDD, pushing the victim up by the divider drop; the event
+// fires at VDD−Vth−drop and restarts at VDD−Vth.
+func (m Model) FallingEvent(ccActive, cGnd float64) (Event, bool) {
+	drop := m.DividerDrop(ccActive, cGnd)
+	if drop <= 0 {
+		return Event{}, false
+	}
+	trigger := (m.VDD - m.Vth) - drop
+	minTrigger := 0.02 * m.VDD
+	if trigger < minTrigger {
+		trigger = minTrigger
+	}
+	restart := trigger + drop
+	if restart > m.VDD {
+		restart = m.VDD
+	}
+	return Event{Trigger: trigger, Restart: restart}, true
+}
+
+// ShouldCouple implements the one-step algorithm's per-neighbor rule
+// (§5.1): the adjacent wire i must be treated as actively coupling when
+// it is not yet calculated (worst-case assumption) or when its
+// opposite-transition quiescent time t_a,i lies after the earliest
+// possible activity t_bcs of the victim (the best-case time the victim
+// waveform reaches Vth).
+func ShouldCouple(aggCalculated bool, aggQuietAt, tBCS float64) bool {
+	if !aggCalculated {
+		return true
+	}
+	return aggQuietAt > tBCS
+}

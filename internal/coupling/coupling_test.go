@@ -1,0 +1,176 @@
+package coupling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func model(t *testing.T) Model {
+	t.Helper()
+	m, err := NewModel(3.3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(0, 0.2); err == nil {
+		t.Error("VDD=0 must error")
+	}
+	if _, err := NewModel(3.3, 0); err == nil {
+		t.Error("Vth=0 must error")
+	}
+	if _, err := NewModel(3.3, 2.0); err == nil {
+		t.Error("Vth >= VDD/2 must error")
+	}
+}
+
+func TestDividerDrop(t *testing.T) {
+	m := model(t)
+	// Equal caps: half VDD.
+	if got := m.DividerDrop(100e-15, 100e-15); math.Abs(got-1.65) > 1e-12 {
+		t.Errorf("equal-cap drop = %v, want 1.65", got)
+	}
+	if got := m.DividerDrop(0, 100e-15); got != 0 {
+		t.Errorf("no coupling must give zero drop, got %v", got)
+	}
+	// Tiny Cc: drop ≈ VDD*Cc/Cgnd.
+	got := m.DividerDrop(1e-15, 99e-15)
+	want := 3.3 * 0.01
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("small drop = %v, want %v", got, want)
+	}
+}
+
+func TestRisingEventNominal(t *testing.T) {
+	m := model(t)
+	ev, ok := m.RisingEvent(50e-15, 150e-15)
+	if !ok {
+		t.Fatal("expected event")
+	}
+	drop := 3.3 * 50.0 / 200.0
+	if math.Abs(ev.Trigger-(0.2+drop)) > 1e-12 {
+		t.Errorf("trigger = %v, want Vth+drop = %v", ev.Trigger, 0.2+drop)
+	}
+	if math.Abs(ev.Restart-0.2) > 1e-12 {
+		t.Errorf("restart = %v, want exactly Vth (paper: victim drops to Vth)", ev.Restart)
+	}
+}
+
+func TestFallingEventNominal(t *testing.T) {
+	m := model(t)
+	ev, ok := m.FallingEvent(50e-15, 150e-15)
+	if !ok {
+		t.Fatal("expected event")
+	}
+	drop := 3.3 * 50.0 / 200.0
+	if math.Abs(ev.Trigger-((3.3-0.2)-drop)) > 1e-12 {
+		t.Errorf("trigger = %v", ev.Trigger)
+	}
+	if math.Abs(ev.Restart-(3.3-0.2)) > 1e-12 {
+		t.Errorf("restart = %v, want VDD-Vth", ev.Restart)
+	}
+}
+
+func TestNoCouplingNoEvent(t *testing.T) {
+	m := model(t)
+	if _, ok := m.RisingEvent(0, 100e-15); ok {
+		t.Error("zero coupling must yield no event")
+	}
+	if _, ok := m.FallingEvent(0, 100e-15); ok {
+		t.Error("zero coupling must yield no event")
+	}
+}
+
+func TestExtremeCouplingClamped(t *testing.T) {
+	m := model(t)
+	// Cc ≫ Cgnd: nominal trigger would exceed VDD.
+	ev, ok := m.RisingEvent(1000e-15, 10e-15)
+	if !ok {
+		t.Fatal("expected event")
+	}
+	if ev.Trigger >= m.VDD {
+		t.Errorf("trigger %v not clamped below VDD", ev.Trigger)
+	}
+	if ev.Restart < 0 {
+		t.Errorf("restart %v below ground", ev.Restart)
+	}
+	evF, ok := m.FallingEvent(1000e-15, 10e-15)
+	if !ok {
+		t.Fatal("expected falling event")
+	}
+	if evF.Trigger <= 0 || evF.Restart > m.VDD {
+		t.Errorf("falling clamp broken: %+v", evF)
+	}
+}
+
+// Property: for any cap split, the rising event keeps Restart ≤ Vth ≤
+// Trigger, the drop equals trigger−restart, and the trigger grows with
+// the active coupling fraction.
+func TestQuickRisingEventInvariants(t *testing.T) {
+	m := model(t)
+	f := func(a, b uint16) bool {
+		cc := 1e-15 * (1 + float64(a%2000))
+		cg := 1e-15 * (1 + float64(b%2000))
+		ev, ok := m.RisingEvent(cc, cg)
+		if !ok {
+			return false
+		}
+		if ev.Restart > m.Vth+1e-12 || ev.Trigger < m.Vth {
+			return false
+		}
+		if ev.Trigger > m.VDD || ev.Restart < 0 {
+			return false
+		}
+		drop := m.DividerDrop(cc, cg)
+		if ev.Restart == 0 {
+			// Clamped at ground: the event is at most one drop tall.
+			return ev.Trigger-ev.Restart <= drop+1e-9
+		}
+		return math.Abs((ev.Trigger-ev.Restart)-drop) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rising and falling events are exact mirror images around
+// VDD/2.
+func TestQuickMirrorSymmetry(t *testing.T) {
+	m := model(t)
+	f := func(a, b uint16) bool {
+		cc := 1e-15 * (1 + float64(a%500))
+		cg := 1e-15 * (10 + float64(b%2000))
+		r, ok1 := m.RisingEvent(cc, cg)
+		fl, ok2 := m.FallingEvent(cc, cg)
+		if !ok1 || !ok2 {
+			return false
+		}
+		return math.Abs((m.VDD-r.Trigger)-fl.Trigger) < 1e-9 &&
+			math.Abs((m.VDD-r.Restart)-fl.Restart) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShouldCouple(t *testing.T) {
+	// Uncalculated neighbors always couple (worst case).
+	if !ShouldCouple(false, 0, 1e-9) {
+		t.Error("uncalculated neighbor must couple")
+	}
+	// Neighbor still active after the victim could start: couples.
+	if !ShouldCouple(true, 2e-9, 1e-9) {
+		t.Error("active neighbor must couple")
+	}
+	// Neighbor quiet before the victim's earliest activity: grounded.
+	if ShouldCouple(true, 0.5e-9, 1e-9) {
+		t.Error("quiet neighbor must not couple")
+	}
+	// Boundary: quiet exactly at t_bcs does not couple (strict >).
+	if ShouldCouple(true, 1e-9, 1e-9) {
+		t.Error("boundary case must not couple")
+	}
+}

@@ -1,0 +1,65 @@
+package delaycalc
+
+import (
+	"sync"
+	"testing"
+
+	"xtalksta/internal/netlist"
+	"xtalksta/internal/waveform"
+)
+
+// TestConcurrentEval hammers the calculator from many goroutines with
+// overlapping requests; run with -race to verify the cache locking.
+func TestConcurrentEval(t *testing.T) {
+	c := newCalc(t, Options{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				r := Request{
+					Kind:   netlist.NAND,
+					NIn:    2 + (g+i)%3,
+					Pin:    0,
+					Dir:    waveform.Direction((g + i) % 2),
+					InSlew: 0.2e-9 * float64(1+i%3),
+					CLoad:  30e-15 * float64(1+g%4),
+				}
+				if _, err := c.Eval(r); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	req, sims := c.Stats()
+	if req != 64 {
+		t.Errorf("requests = %d, want 64", req)
+	}
+	if sims == 0 || sims > req {
+		t.Errorf("sims = %d out of %d", sims, req)
+	}
+}
+
+func TestClearCache(t *testing.T) {
+	c := newCalc(t, Options{})
+	if _, err := c.Eval(baseReq()); err != nil {
+		t.Fatal(err)
+	}
+	c.ClearCache()
+	c.ResetStats()
+	if _, err := c.Eval(baseReq()); err != nil {
+		t.Fatal(err)
+	}
+	_, sims := c.Stats()
+	if sims != 1 {
+		t.Errorf("after ClearCache the request must simulate again, sims = %d", sims)
+	}
+}

@@ -1,0 +1,32 @@
+package delaycalc
+
+import (
+	"xtalksta/internal/ccc"
+	"xtalksta/internal/device"
+)
+
+// Evaluator is the arc-delay interface the STA engine consumes. The
+// circuit-level Calculator is the reference implementation; the
+// precharacterized LUT library (internal/liberty) is the fast one.
+type Evaluator interface {
+	// Eval computes one timing arc.
+	Eval(Request) (Result, error)
+	// Stats returns requests served and underlying simulations run.
+	Stats() (requests, simulations int64)
+	// ResetStats clears the counters.
+	ResetStats()
+	// ClearCache drops memoized results (no-op where not applicable).
+	ClearCache()
+	// Proc exposes the process parameters.
+	Proc() device.Process
+	// Siz exposes the library sizing.
+	Siz() ccc.Sizing
+}
+
+// Proc implements Evaluator.
+func (c *Calculator) Proc() device.Process { return c.Lib.Proc }
+
+// Siz implements Evaluator.
+func (c *Calculator) Siz() ccc.Sizing { return c.Sizing }
+
+var _ Evaluator = (*Calculator)(nil)

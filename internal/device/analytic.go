@@ -1,0 +1,66 @@
+package device
+
+// Analytic Shichman–Hodges (SPICE level-1) MOSFET DC model with
+// channel-length modulation. The table model in table.go is sampled
+// from this model; the analytic form is also used directly by tests to
+// validate the interpolation error.
+
+// AnalyticModel evaluates the drain current of a MOSFET analytically.
+type AnalyticModel struct {
+	Type MOSType
+	Geom Geometry
+	Proc Process
+}
+
+// Ids returns the drain-to-source current for terminal voltages taken
+// relative to the source, using standard level-1 equations. For PMOS
+// the voltages are internally mirrored so the caller can always pass
+// physical Vgs and Vds (both negative for a conducting PMOS); the
+// returned current keeps its physical sign (negative Ids for a PMOS
+// pulling its drain up, i.e. current flowing source→drain).
+func (m AnalyticModel) Ids(vgs, vds float64) float64 {
+	switch m.Type {
+	case NMOS:
+		return m.idsN(vgs, vds, m.Proc.VtN, m.Proc.KPn, m.Proc.LambdaN)
+	default:
+		// Mirror: a PMOS with (vgs, vds) behaves like an NMOS with
+		// (-vgs, -vds) and threshold -VtP, with the current negated.
+		return -m.idsN(-vgs, -vds, -m.Proc.VtP, m.Proc.KPp, m.Proc.LambdaP)
+	}
+}
+
+// idsN implements the level-1 equations for an NMOS-like device. The
+// model is symmetric in drain/source: negative vds is handled by
+// swapping terminals, which keeps the function continuous and odd in
+// vds as required for Newton convergence near vds = 0.
+func (m AnalyticModel) idsN(vgs, vds, vt, kp float64, lambda float64) float64 {
+	if vds < 0 {
+		// Swap drain and source: Vgd = vgs - vds becomes the new Vgs.
+		return -m.idsN(vgs-vds, -vds, vt, kp, lambda)
+	}
+	vov := vgs - vt
+	if vov <= 0 {
+		return 0 // cutoff (sub-threshold conduction neglected, as level 1)
+	}
+	beta := kp * m.Geom.W / m.Geom.L
+	if vds < vov {
+		// linear (triode) region
+		return beta * (vov - vds/2) * vds * (1 + lambda*vds)
+	}
+	// saturation
+	return 0.5 * beta * vov * vov * (1 + lambda*vds)
+}
+
+// Gm returns dIds/dVgs by central finite difference on the analytic
+// model. Used to build the conductance tables.
+func (m AnalyticModel) Gm(vgs, vds float64) float64 {
+	const h = 1e-4
+	return (m.Ids(vgs+h, vds) - m.Ids(vgs-h, vds)) / (2 * h)
+}
+
+// Gds returns dIds/dVds by central finite difference on the analytic
+// model.
+func (m AnalyticModel) Gds(vgs, vds float64) float64 {
+	const h = 1e-4
+	return (m.Ids(vgs, vds+h) - m.Ids(vgs, vds-h)) / (2 * h)
+}

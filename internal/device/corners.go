@@ -1,0 +1,39 @@
+package device
+
+// Process corners. Worst-case design of the paper's era signs off
+// timing at the slow corner and hold at the fast corner; the corner set
+// scales the transconductance and threshold parameters the standard
+// way (slow: weak devices, high Vt; fast: strong devices, low Vt).
+
+// Corner names a process corner.
+type Corner string
+
+// The classic three-corner set.
+const (
+	CornerSlow    Corner = "SS"
+	CornerTypical Corner = "TT"
+	CornerFast    Corner = "FF"
+)
+
+// Corners lists the standard corner set in slow→fast order.
+func Corners() []Corner {
+	return []Corner{CornerSlow, CornerTypical, CornerFast}
+}
+
+// AtCorner derives the corner variant of a process parameter set.
+func (p Process) AtCorner(c Corner) Process {
+	out := p
+	switch c {
+	case CornerSlow:
+		out.KPn *= 0.80
+		out.KPp *= 0.80
+		out.VtN += 0.1
+		out.VtP -= 0.1
+	case CornerFast:
+		out.KPn *= 1.20
+		out.KPp *= 1.20
+		out.VtN -= 0.1
+		out.VtP += 0.1
+	}
+	return out
+}

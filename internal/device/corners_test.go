@@ -1,0 +1,37 @@
+package device
+
+import "testing"
+
+func TestCornerOrdering(t *testing.T) {
+	p := Generic05um()
+	ss := p.AtCorner(CornerSlow)
+	tt := p.AtCorner(CornerTypical)
+	ff := p.AtCorner(CornerFast)
+	if tt != p {
+		t.Error("typical corner must be the nominal process")
+	}
+	if !(ss.KPn < tt.KPn && tt.KPn < ff.KPn) {
+		t.Errorf("KPn ordering broken: %v %v %v", ss.KPn, tt.KPn, ff.KPn)
+	}
+	if !(ss.VtN > tt.VtN && tt.VtN > ff.VtN) {
+		t.Errorf("VtN ordering broken: %v %v %v", ss.VtN, tt.VtN, ff.VtN)
+	}
+	if !(ss.VtP < tt.VtP && tt.VtP < ff.VtP) {
+		t.Errorf("VtP ordering broken: %v %v %v", ss.VtP, tt.VtP, ff.VtP)
+	}
+	// Saturation current of a reference device must order slow < typ < fast.
+	g := Geometry{W: 2e-6, L: p.Lmin}
+	iss := AnalyticModel{Type: NMOS, Geom: g, Proc: ss}.Ids(p.VDD, p.VDD)
+	itt := AnalyticModel{Type: NMOS, Geom: g, Proc: tt}.Ids(p.VDD, p.VDD)
+	iff := AnalyticModel{Type: NMOS, Geom: g, Proc: ff}.Ids(p.VDD, p.VDD)
+	if !(iss < itt && itt < iff) {
+		t.Errorf("Idsat ordering broken: %v %v %v", iss, itt, iff)
+	}
+}
+
+func TestCornersList(t *testing.T) {
+	cs := Corners()
+	if len(cs) != 3 || cs[0] != CornerSlow || cs[2] != CornerFast {
+		t.Errorf("Corners() = %v", cs)
+	}
+}

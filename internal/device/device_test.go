@@ -1,0 +1,297 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testNMOS(p Process) AnalyticModel {
+	return AnalyticModel{Type: NMOS, Geom: Geometry{W: 2e-6, L: p.Lmin}, Proc: p}
+}
+
+func testPMOS(p Process) AnalyticModel {
+	return AnalyticModel{Type: PMOS, Geom: Geometry{W: 5e-6, L: p.Lmin}, Proc: p}
+}
+
+func TestProcessConstants(t *testing.T) {
+	p := Generic05um()
+	if p.VDD != 3.3 {
+		t.Errorf("VDD = %v, want 3.3", p.VDD)
+	}
+	if p.VtN != 0.6 || p.VtP != -0.6 {
+		t.Errorf("thresholds = %v/%v, want 0.6/-0.6 (paper: 0.6 V device threshold)", p.VtN, p.VtP)
+	}
+	if p.VthModel != 0.2 {
+		t.Errorf("VthModel = %v, want 0.2 (paper: chosen value is 0.2 Volts)", p.VthModel)
+	}
+	if p.VthModel >= p.VtN {
+		t.Error("coupling-model threshold must be below the device threshold so it has no delay impact")
+	}
+}
+
+func TestNMOSCutoff(t *testing.T) {
+	m := testNMOS(Generic05um())
+	for _, vgs := range []float64{0, 0.3, 0.59} {
+		for _, vds := range []float64{0.1, 1, 3.3} {
+			if got := m.Ids(vgs, vds); got != 0 {
+				t.Errorf("Ids(%v,%v) = %v, want 0 in cutoff", vgs, vds, got)
+			}
+		}
+	}
+}
+
+func TestNMOSRegions(t *testing.T) {
+	p := Generic05um()
+	m := testNMOS(p)
+	// Triode: small vds, current roughly linear in vds.
+	i1 := m.Ids(3.3, 0.05)
+	i2 := m.Ids(3.3, 0.10)
+	if i1 <= 0 || i2 <= 0 {
+		t.Fatalf("triode currents must be positive: %v %v", i1, i2)
+	}
+	ratio := i2 / i1
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("triode current not ~linear in vds: I(0.1)/I(0.05) = %v", ratio)
+	}
+	// Saturation: current almost flat in vds (only lambda slope).
+	is1 := m.Ids(2.0, 2.5)
+	is2 := m.Ids(2.0, 3.3)
+	if is2 <= is1 {
+		t.Errorf("lambda>0 means saturation current must still grow slightly: %v then %v", is1, is2)
+	}
+	if (is2-is1)/is1 > 0.1 {
+		t.Errorf("saturation slope too large: %v -> %v", is1, is2)
+	}
+}
+
+func TestIdsOddInVds(t *testing.T) {
+	// The drain/source swap must make Ids(vgs, -vds) = -Ids(vgs-vds... )
+	// Exact symmetry property: swapping terminals of a symmetric device.
+	p := Generic05um()
+	m := testNMOS(p)
+	// At vds=0 the current must be exactly zero for any vgs.
+	for _, vgs := range []float64{0, 0.6, 1.5, 3.3} {
+		if got := m.Ids(vgs, 0); got != 0 {
+			t.Errorf("Ids(%v, 0) = %v, want 0", vgs, got)
+		}
+	}
+	// Continuity around vds=0.
+	eps := 1e-9
+	for _, vgs := range []float64{1.0, 2.0, 3.3} {
+		ip := m.Ids(vgs, eps)
+		in := m.Ids(vgs, -eps)
+		if math.Abs(ip+in) > 1e-12 {
+			t.Errorf("Ids not odd-symmetric near 0 at vgs=%v: %v vs %v", vgs, ip, in)
+		}
+	}
+}
+
+func TestPMOSMirrorsNMOS(t *testing.T) {
+	p := Generic05um()
+	pm := testPMOS(p)
+	// A conducting PMOS: vgs, vds negative; current negative (pulls drain up).
+	i := pm.Ids(-3.3, -1.0)
+	if i >= 0 {
+		t.Errorf("PMOS Ids(-3.3,-1.0) = %v, want negative", i)
+	}
+	// Cutoff when |vgs| < |vtp|.
+	if got := pm.Ids(-0.3, -1.0); got != 0 {
+		t.Errorf("PMOS cutoff Ids = %v, want 0", got)
+	}
+}
+
+func TestTableMatchesAnalytic(t *testing.T) {
+	p := Generic05um()
+	g := Geometry{W: 2e-6, L: p.Lmin}
+	am := AnalyticModel{Type: NMOS, Geom: g, Proc: p}
+	tm, err := NewTableModel(NMOS, g, p, DefaultGridN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imax := am.Ids(p.VDD, p.VDD)
+	for vgs := 0.0; vgs <= p.VDD; vgs += 0.173 {
+		for vds := 0.0; vds <= p.VDD; vds += 0.191 {
+			want := am.Ids(vgs, vds)
+			got := tm.Ids(vgs, vds)
+			if math.Abs(got-want) > 0.005*imax {
+				t.Errorf("table Ids(%v,%v) = %v, analytic %v (tol %v)", vgs, vds, got, want, 0.005*imax)
+			}
+		}
+	}
+}
+
+func TestTableExactAtGridPoints(t *testing.T) {
+	p := Generic05um()
+	g := Geometry{W: 2e-6, L: p.Lmin}
+	am := AnalyticModel{Type: NMOS, Geom: g, Proc: p}
+	tm, err := NewTableModel(NMOS, g, p, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 65; i += 7 {
+		for j := 0; j < 65; j += 9 {
+			vgs := tm.vmin + float64(i)*tm.dv
+			vds := tm.vmin + float64(j)*tm.dv
+			want := am.Ids(vgs, vds)
+			got := tm.Ids(vgs, vds)
+			if math.Abs(got-want) > math.Abs(want)*1e-9+1e-15 {
+				t.Errorf("grid point (%d,%d): table %v analytic %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestTableClampsOutsideRange(t *testing.T) {
+	p := Generic05um()
+	g := Geometry{W: 2e-6, L: p.Lmin}
+	tm, err := NewTableModel(NMOS, g, p, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside := tm.Ids(p.VDD, p.VDD)
+	outside := tm.Ids(p.VDD+5, p.VDD+5)
+	if math.Abs(inside-outside) > math.Abs(inside)*0.05+1e-12 {
+		t.Errorf("clamped eval should be near the edge value: %v vs %v", inside, outside)
+	}
+}
+
+func TestTableModelRejectsTinyGrid(t *testing.T) {
+	p := Generic05um()
+	if _, err := NewTableModel(NMOS, Geometry{W: 2e-6, L: p.Lmin}, p, 1); err == nil {
+		t.Error("expected error for grid n=1")
+	}
+}
+
+func TestEvalConsistentWithIndividual(t *testing.T) {
+	p := Generic05um()
+	tm, err := NewTableModel(PMOS, Geometry{W: 5e-6, L: p.Lmin}, p, 129)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		vgs := math.Mod(a, p.VDD)
+		vds := math.Mod(b, p.VDD)
+		ids, gm, gds := tm.Eval(vgs, vds)
+		return closeTo(ids, tm.Ids(vgs, vds)) && closeTo(gm, tm.Gm(vgs, vds)) && closeTo(gds, tm.Gds(vgs, vds))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func closeTo(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*(1+math.Abs(a)+math.Abs(b))
+}
+
+// Property: monotonicity of NMOS drain current in vgs for fixed
+// positive vds — both analytically and through the table model.
+func TestQuickMonotoneInVgs(t *testing.T) {
+	p := Generic05um()
+	m := testNMOS(p)
+	tm, err := NewTableModel(NMOS, m.Geom, p, DefaultGridN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c uint16) bool {
+		vds := 0.05 + float64(a%3200)/1000.0 // (0.05, 3.25)
+		v1 := float64(b%3300) / 1000.0
+		v2 := float64(c%3300) / 1000.0
+		if v1 > v2 {
+			v1, v2 = v2, v1
+		}
+		if m.Ids(v1, vds) > m.Ids(v2, vds)+1e-15 {
+			return false
+		}
+		return tm.Ids(v1, vds) <= tm.Ids(v2, vds)+1e-9*math.Abs(tm.Ids(v2, vds))+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gm and gds tables agree with finite differences of the ids
+// table away from region boundaries.
+func TestConductanceTablesConsistent(t *testing.T) {
+	p := Generic05um()
+	g := Geometry{W: 2e-6, L: p.Lmin}
+	tm, err := NewTableModel(NMOS, g, p, DefaultGridN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := AnalyticModel{Type: NMOS, Geom: g, Proc: p}
+	for _, pt := range [][2]float64{{2.0, 1.0}, {3.0, 0.5}, {1.5, 2.5}, {2.8, 3.0}} {
+		vgs, vds := pt[0], pt[1]
+		const h = 0.05
+		fdGm := (am.Ids(vgs+h, vds) - am.Ids(vgs-h, vds)) / (2 * h)
+		if rel(fdGm, tm.Gm(vgs, vds)) > 0.05 {
+			t.Errorf("gm table at (%v,%v): %v vs fd %v", vgs, vds, tm.Gm(vgs, vds), fdGm)
+		}
+		fdGds := (am.Ids(vgs, vds+h) - am.Ids(vgs, vds-h)) / (2 * h)
+		if rel(fdGds, tm.Gds(vgs, vds)) > 0.08 {
+			t.Errorf("gds table at (%v,%v): %v vs fd %v", vgs, vds, tm.Gds(vgs, vds), fdGds)
+		}
+	}
+}
+
+func rel(a, b float64) float64 {
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}
+
+func TestLibraryShares(t *testing.T) {
+	lib := NewLibrary(Generic05um(), 65)
+	g := Geometry{W: 2e-6, L: 0.5e-6}
+	m1 := lib.Model(NMOS, g)
+	m2 := lib.Model(NMOS, g)
+	if m1 != m2 {
+		t.Error("library must return the same model instance for identical devices")
+	}
+	m3 := lib.Model(PMOS, g)
+	if m3 == m1 {
+		t.Error("different device types must not share a model")
+	}
+}
+
+func TestGateAndDrainCap(t *testing.T) {
+	p := Generic05um()
+	g := Geometry{W: 2e-6, L: p.Lmin}
+	if got := p.GateCap(g); math.Abs(got-4e-15) > 1e-20 {
+		t.Errorf("GateCap = %v, want 4 fF", got)
+	}
+	if got := p.DrainCap(g); math.Abs(got-2.4e-15) > 1e-20 {
+		t.Errorf("DrainCap = %v, want 2.4 fF", got)
+	}
+}
+
+func BenchmarkTableEval(b *testing.B) {
+	p := Generic05um()
+	tm, err := NewTableModel(NMOS, Geometry{W: 2e-6, L: p.Lmin}, p, DefaultGridN)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		v := float64(i%330) / 100
+		ids, gm, gds := tm.Eval(v, 3.3-v)
+		sink += ids + gm + gds
+	}
+	_ = sink
+}
+
+func BenchmarkAnalyticEval(b *testing.B) {
+	p := Generic05um()
+	m := testNMOS(p)
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		v := float64(i%330) / 100
+		sink += m.Ids(v, 3.3-v)
+	}
+	_ = sink
+}

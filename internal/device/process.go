@@ -1,0 +1,101 @@
+// Package device models the MOS transistors of a generic 0.5 µm CMOS
+// process, the technology used by the paper's evaluation (ISCAS89
+// circuits routed in a 0.5 µm two-metal process).
+//
+// Following the paper (§3) and TETA [Dartu/Pileggi, DAC'98], the DC
+// behavior of the transistors is described by tables that are sampled
+// from an analytic model once per device geometry and then evaluated by
+// bilinear interpolation during waveform calculation. The conductances
+// gm = dId/dVgs and gds = dId/dVds needed by the Newton iteration are
+// tabulated alongside the current.
+package device
+
+// Process collects the electrical constants of the CMOS process. All
+// values are in SI units (V, A, F, Ω, m).
+type Process struct {
+	// VDD is the supply voltage.
+	VDD float64
+	// VtN and VtP are the NMOS and PMOS threshold voltages. The paper
+	// quotes 0.6 V for the device threshold.
+	VtN, VtP float64
+	// KPn and KPp are the transconductance parameters µ·Cox (A/V²).
+	KPn, KPp float64
+	// LambdaN and LambdaP are the channel-length modulation factors (1/V).
+	LambdaN, LambdaP float64
+	// Lmin is the minimum (drawn) channel length in meters.
+	Lmin float64
+	// CgPerWidth is the gate capacitance per meter of gate width (F/m).
+	CgPerWidth float64
+	// CdPerWidth is the drain junction capacitance per meter of width (F/m).
+	CdPerWidth float64
+
+	// Interconnect constants for the layout extractor.
+
+	// CwirePerLen is the wire capacitance to ground per meter (F/m).
+	CwirePerLen float64
+	// CcouplePerLen is the sidewall coupling capacitance per meter of
+	// parallel run length at minimum spacing (F/m).
+	CcouplePerLen float64
+	// RwirePerLen is the wire resistance per meter (Ω/m).
+	RwirePerLen float64
+
+	// VthModel is the coupling-model restart voltage (paper §2: 0.2 V,
+	// deliberately below the 0.6 V device threshold so the restart value
+	// itself has no impact on the computed delay).
+	VthModel float64
+}
+
+// Generic05um returns the 0.5 µm process parameter set used throughout
+// the reproduction. The constants are textbook values for a 0.5 µm
+// two-metal CMOS process (VDD = 3.3 V, Vt = 0.6 V).
+func Generic05um() Process {
+	return Process{
+		VDD:           3.3,
+		VtN:           0.6,
+		VtP:           -0.6,
+		KPn:           60e-6,
+		KPp:           25e-6,
+		LambdaN:       0.05,
+		LambdaP:       0.05,
+		Lmin:          0.5e-6,
+		CgPerWidth:    2.0e-9,  // 2 fF/µm
+		CdPerWidth:    1.2e-9,  // 1.2 fF/µm
+		CwirePerLen:   0.20e-9, // 0.20 fF/µm
+		CcouplePerLen: 0.12e-9, // 0.12 fF/µm at minimum spacing
+		RwirePerLen:   0.07e6,  // 0.07 Ω/µm
+		VthModel:      0.2,
+	}
+}
+
+// MOSType distinguishes the two transistor polarities.
+type MOSType int
+
+const (
+	NMOS MOSType = iota
+	PMOS
+)
+
+// String returns "nmos" or "pmos".
+func (t MOSType) String() string {
+	if t == NMOS {
+		return "nmos"
+	}
+	return "pmos"
+}
+
+// Geometry describes a transistor's drawn dimensions.
+type Geometry struct {
+	W, L float64 // meters
+}
+
+// GateCap returns the gate capacitance of a transistor with the given
+// geometry in the process.
+func (p Process) GateCap(g Geometry) float64 {
+	return p.CgPerWidth * g.W
+}
+
+// DrainCap returns the drain junction capacitance of a transistor with
+// the given geometry in the process.
+func (p Process) DrainCap(g Geometry) float64 {
+	return p.CdPerWidth * g.W
+}

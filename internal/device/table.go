@@ -1,0 +1,170 @@
+package device
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TableModel is the tabulated DC model of one transistor geometry, the
+// paper's §3 device abstraction ("the DC behavior of the transistors is
+// modeled by tables"). The drain current and both conductances are
+// sampled on a uniform (Vgs, Vds) grid covering [-VDD, VDD] in both
+// axes and evaluated by bilinear interpolation. The paper notes that a
+// fine discretization makes the classical Newton iteration converge
+// without resorting to the successive-chord method; DefaultGridN keeps
+// the same property here (validated by TestNewtonConvergesOnTables).
+type TableModel struct {
+	Type MOSType
+	Geom Geometry
+
+	n        int // grid points per axis
+	vmin, dv float64
+	ids      []float64 // n*n row-major: [iVgs*n + iVds]
+}
+
+// DefaultGridN is the default number of grid points per axis. 385
+// points over the 6.6 V span gives a ~17 mV cell, fine enough that the
+// bilinearly interpolated model is C0 with piecewise-constant-enough
+// derivatives for plain Newton (paper §3).
+const DefaultGridN = 385
+
+// NewTableModel samples the analytic model for the given device onto a
+// grid with n points per axis. n must be at least 2.
+func NewTableModel(t MOSType, g Geometry, p Process, n int) (*TableModel, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("device: table grid needs at least 2 points per axis, got %d", n)
+	}
+	am := AnalyticModel{Type: t, Geom: g, Proc: p}
+	vmax := p.VDD
+	vmin := -p.VDD
+	tm := &TableModel{
+		Type: t, Geom: g,
+		n:    n,
+		vmin: vmin,
+		dv:   (vmax - vmin) / float64(n-1),
+		ids:  make([]float64, n*n),
+	}
+	for i := 0; i < n; i++ {
+		vgs := vmin + float64(i)*tm.dv
+		for j := 0; j < n; j++ {
+			vds := vmin + float64(j)*tm.dv
+			tm.ids[i*n+j] = am.Ids(vgs, vds)
+		}
+	}
+	return tm, nil
+}
+
+// clampIndex maps a voltage to its lower grid index and the fractional
+// position inside the cell, clamping to the table range.
+func (tm *TableModel) clampIndex(v float64) (int, float64) {
+	x := (v - tm.vmin) / tm.dv
+	if x <= 0 {
+		return 0, 0
+	}
+	max := float64(tm.n - 1)
+	if x >= max {
+		return tm.n - 2, 1
+	}
+	i := int(x)
+	if i > tm.n-2 {
+		i = tm.n - 2
+	}
+	return i, x - float64(i)
+}
+
+func (tm *TableModel) bilinear(tab []float64, vgs, vds float64) float64 {
+	i, fx := tm.clampIndex(vgs)
+	j, fy := tm.clampIndex(vds)
+	n := tm.n
+	v00 := tab[i*n+j]
+	v01 := tab[i*n+j+1]
+	v10 := tab[(i+1)*n+j]
+	v11 := tab[(i+1)*n+j+1]
+	return v00*(1-fx)*(1-fy) + v01*(1-fx)*fy + v10*fx*(1-fy) + v11*fx*fy
+}
+
+// Ids returns the interpolated drain current.
+func (tm *TableModel) Ids(vgs, vds float64) float64 {
+	return tm.bilinear(tm.ids, vgs, vds)
+}
+
+// Gm returns dIds/dVgs of the interpolated current surface.
+func (tm *TableModel) Gm(vgs, vds float64) float64 {
+	_, gm, _ := tm.Eval(vgs, vds)
+	return gm
+}
+
+// Gds returns dIds/dVds of the interpolated current surface.
+func (tm *TableModel) Gds(vgs, vds float64) float64 {
+	_, _, gds := tm.Eval(vgs, vds)
+	return gds
+}
+
+// Eval returns current and both conductances in one call, sharing the
+// index computation. This is the hot path of the Newton loop.
+//
+// The conductances are the EXACT partial derivatives of the bilinear
+// current surface (corner differences), not interpolations of the
+// sampled analytic derivatives: a Jacobian consistent with the residual
+// is what makes plain Newton converge quadratically inside each table
+// cell — the practical content of the paper's "due to the fine
+// discretization of the tables we do not get convergence problems".
+func (tm *TableModel) Eval(vgs, vds float64) (ids, gm, gds float64) {
+	i, fx := tm.clampIndex(vgs)
+	j, fy := tm.clampIndex(vds)
+	n := tm.n
+	k00 := i*n + j
+	k10 := k00 + n
+	i00, i01 := tm.ids[k00], tm.ids[k00+1]
+	i10, i11 := tm.ids[k10], tm.ids[k10+1]
+	ids = i00*(1-fx)*(1-fy) + i01*(1-fx)*fy + i10*fx*(1-fy) + i11*fx*fy
+	gm = ((1-fy)*(i10-i00) + fy*(i11-i01)) / tm.dv
+	gds = ((1-fx)*(i01-i00) + fx*(i11-i10)) / tm.dv
+	return ids, gm, gds
+}
+
+// GridN returns the number of grid points per axis.
+func (tm *TableModel) GridN() int { return tm.n }
+
+// Library caches table models per (type, geometry) so that every
+// instance of a given transistor size shares one table.
+type Library struct {
+	Proc  Process
+	GridN int
+
+	mu     sync.Mutex
+	models map[libKey]*TableModel
+}
+
+type libKey struct {
+	t    MOSType
+	w, l float64
+}
+
+// NewLibrary creates a table-model cache for the process. gridN <= 0
+// selects DefaultGridN.
+func NewLibrary(p Process, gridN int) *Library {
+	if gridN <= 0 {
+		gridN = DefaultGridN
+	}
+	return &Library{Proc: p, GridN: gridN, models: make(map[libKey]*TableModel)}
+}
+
+// Model returns the shared table model for the device, building it on
+// first use.
+func (l *Library) Model(t MOSType, g Geometry) *TableModel {
+	key := libKey{t, g.W, g.L}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if m, ok := l.models[key]; ok {
+		return m
+	}
+	m, err := NewTableModel(t, g, l.Proc, l.GridN)
+	if err != nil {
+		// GridN is validated at construction; the only error is n < 2,
+		// which cannot happen through NewLibrary.
+		panic(err)
+	}
+	l.models[key] = m
+	return m
+}

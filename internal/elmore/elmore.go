@@ -1,0 +1,137 @@
+// Package elmore computes Elmore delays on RC trees — the wire-delay
+// model the paper adopts (§2: "Wire delays are modeled by the widely
+// used Elmore model. This model is known to overestimate the delay for
+// long wires. In the worst-case sense this is acceptable.").
+package elmore
+
+import "fmt"
+
+// Tree is a rooted RC tree. Node 0 is the root (the driver output).
+// Every other node has a parent and a resistance on the edge from its
+// parent; every node carries a capacitance to ground.
+type Tree struct {
+	parent []int     // parent[i] for i>0; parent[0] = -1
+	r      []float64 // r[i] = resistance of edge parent(i)→i; r[0] unused
+	c      []float64 // node capacitance
+}
+
+// NewTree creates a tree with just the root node carrying capacitance
+// cRoot.
+func NewTree(cRoot float64) *Tree {
+	return &Tree{parent: []int{-1}, r: []float64{0}, c: []float64{cRoot}}
+}
+
+// AddNode attaches a new node under parent with edge resistance r and
+// node capacitance c, returning its index.
+func (t *Tree) AddNode(parent int, r, c float64) (int, error) {
+	if parent < 0 || parent >= len(t.parent) {
+		return 0, fmt.Errorf("elmore: parent %d out of range [0,%d)", parent, len(t.parent))
+	}
+	if r < 0 || c < 0 {
+		return 0, fmt.Errorf("elmore: negative R (%g) or C (%g)", r, c)
+	}
+	idx := len(t.parent)
+	t.parent = append(t.parent, parent)
+	t.r = append(t.r, r)
+	t.c = append(t.c, c)
+	return idx, nil
+}
+
+// AddCap adds extra capacitance (e.g. a gate input pin) at a node.
+func (t *Tree) AddCap(node int, c float64) error {
+	if node < 0 || node >= len(t.c) {
+		return fmt.Errorf("elmore: node %d out of range", node)
+	}
+	if c < 0 {
+		return fmt.Errorf("elmore: negative capacitance %g", c)
+	}
+	t.c[node] += c
+	return nil
+}
+
+// NumNodes returns the node count.
+func (t *Tree) NumNodes() int { return len(t.parent) }
+
+// Parent returns the parent index of a node (-1 for the root).
+func (t *Tree) Parent(i int) int { return t.parent[i] }
+
+// EdgeR returns the resistance of the edge from Parent(i) to i.
+func (t *Tree) EdgeR(i int) float64 { return t.r[i] }
+
+// NodeC returns the capacitance at node i.
+func (t *Tree) NodeC(i int) float64 { return t.c[i] }
+
+// TotalCap returns the sum of all node capacitances — the lumped load
+// seen by the driver in the gate-delay calculation.
+func (t *Tree) TotalCap() float64 {
+	s := 0.0
+	for _, c := range t.c {
+		s += c
+	}
+	return s
+}
+
+// TotalRes returns the sum of all edge resistances, for reporting.
+func (t *Tree) TotalRes() float64 {
+	s := 0.0
+	for _, r := range t.r {
+		s += r
+	}
+	return s
+}
+
+// Delays returns the Elmore delay from the root to every node:
+// delay(i) = Σ_k R(common path root→i, root→k) · C(k), computed in
+// O(n) as the classic two-pass downstream-capacitance algorithm.
+// Children are guaranteed to have larger indices than their parents by
+// construction, so simple index sweeps implement the passes.
+func (t *Tree) Delays() []float64 {
+	n := len(t.parent)
+	down := make([]float64, n)
+	copy(down, t.c)
+	// Pass 1 (leaves→root): accumulate downstream capacitance.
+	for i := n - 1; i >= 1; i-- {
+		down[t.parent[i]] += down[i]
+	}
+	// Pass 2 (root→leaves): delay(i) = delay(parent) + R(i)·down(i).
+	delay := make([]float64, n)
+	for i := 1; i < n; i++ {
+		delay[i] = delay[t.parent[i]] + t.r[i]*down[i]
+	}
+	return delay
+}
+
+// DelayTo returns the Elmore delay from root to one node.
+func (t *Tree) DelayTo(node int) (float64, error) {
+	if node < 0 || node >= len(t.parent) {
+		return 0, fmt.Errorf("elmore: node %d out of range", node)
+	}
+	return t.Delays()[node], nil
+}
+
+// Line builds a uniformly distributed RC line with nseg segments of
+// total resistance rTotal and capacitance cTotal, returning the tree
+// and the far-end node index. The classic result delay ≈ RC/2 for large
+// nseg is verified in tests.
+func Line(rTotal, cTotal float64, nseg int) (*Tree, int, error) {
+	if nseg < 1 {
+		return nil, 0, fmt.Errorf("elmore: need at least 1 segment, got %d", nseg)
+	}
+	// π-like distribution: half a segment's cap at each end.
+	cSeg := cTotal / float64(nseg)
+	rSeg := rTotal / float64(nseg)
+	t := NewTree(cSeg / 2)
+	node := 0
+	for i := 0; i < nseg; i++ {
+		c := cSeg
+		if i == nseg-1 {
+			c = cSeg / 2
+		}
+		var err error
+		node, err = t.AddNode(node, rSeg, c)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return t, node, nil
+}

@@ -1,0 +1,168 @@
+package elmore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleLumpedRC(t *testing.T) {
+	// Root --R-- node with C: Elmore delay = R*C.
+	tr := NewTree(0)
+	n, err := tr.AddNode(0, 1e3, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tr.DelayTo(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1e-9) > 1e-15 {
+		t.Errorf("delay = %v, want 1ns", d)
+	}
+}
+
+func TestDistributedLineHalfRC(t *testing.T) {
+	// A distributed RC line's Elmore delay tends to R·C/2.
+	r, c := 1e3, 1e-12
+	tr, end, err := Line(r, c, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tr.DelayTo(end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r * c / 2
+	if math.Abs(d-want)/want > 0.02 {
+		t.Errorf("distributed line delay = %v, want ~%v", d, want)
+	}
+}
+
+func TestBranchedTree(t *testing.T) {
+	// Root with two branches: the off-path branch cap adds delay to the
+	// on-path sink through the shared (zero here) resistance only.
+	tr := NewTree(0)
+	trunk, _ := tr.AddNode(0, 100, 1e-15) // shared trunk
+	a, _ := tr.AddNode(trunk, 200, 2e-15) // branch A
+	b, _ := tr.AddNode(trunk, 300, 3e-15) // branch B
+	d := tr.Delays()
+	// delay(a) = 100*(1f+2f+3f) + 200*2f
+	wantA := 100*(6e-15) + 200*2e-15
+	if math.Abs(d[a]-wantA) > 1e-20 {
+		t.Errorf("delay A = %v, want %v", d[a], wantA)
+	}
+	wantB := 100*(6e-15) + 300*3e-15
+	if math.Abs(d[b]-wantB) > 1e-20 {
+		t.Errorf("delay B = %v, want %v", d[b], wantB)
+	}
+}
+
+func TestAddCapIncreasesUpstreamDelays(t *testing.T) {
+	tr := NewTree(0)
+	n1, _ := tr.AddNode(0, 100, 1e-15)
+	n2, _ := tr.AddNode(n1, 100, 1e-15)
+	before := tr.Delays()[n2]
+	if err := tr.AddCap(n2, 5e-15); err != nil {
+		t.Fatal(err)
+	}
+	after := tr.Delays()[n2]
+	if after <= before {
+		t.Errorf("adding cap must increase delay: %v -> %v", before, after)
+	}
+	wantIncrease := (100 + 100) * 5e-15
+	if math.Abs((after-before)-wantIncrease) > 1e-20 {
+		t.Errorf("delay increase = %v, want %v", after-before, wantIncrease)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tr := NewTree(0)
+	if _, err := tr.AddNode(5, 1, 1); err == nil {
+		t.Error("bad parent must error")
+	}
+	if _, err := tr.AddNode(0, -1, 1); err == nil {
+		t.Error("negative R must error")
+	}
+	if err := tr.AddCap(9, 1); err == nil {
+		t.Error("bad node must error")
+	}
+	if err := tr.AddCap(0, -1); err == nil {
+		t.Error("negative cap must error")
+	}
+	if _, err := tr.DelayTo(-1); err == nil {
+		t.Error("bad node must error")
+	}
+	if _, _, err := Line(1, 1, 0); err == nil {
+		t.Error("zero segments must error")
+	}
+}
+
+func TestTotals(t *testing.T) {
+	tr := NewTree(1e-15)
+	tr.AddNode(0, 100, 2e-15)
+	tr.AddNode(0, 50, 3e-15)
+	if got := tr.TotalCap(); math.Abs(got-6e-15) > 1e-21 {
+		t.Errorf("TotalCap = %v", got)
+	}
+	if got := tr.TotalRes(); got != 150 {
+		t.Errorf("TotalRes = %v", got)
+	}
+	if tr.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d", tr.NumNodes())
+	}
+}
+
+// Property: delays are non-negative and monotone along any root-to-leaf
+// path, and adding capacitance anywhere never decreases any delay.
+func TestQuickElmoreMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTree(rng.Float64() * 1e-15)
+		n := 2 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			parent := rng.Intn(tr.NumNodes())
+			if _, err := tr.AddNode(parent, rng.Float64()*1e3, rng.Float64()*1e-14); err != nil {
+				return false
+			}
+		}
+		d := tr.Delays()
+		for i := 1; i < tr.NumNodes(); i++ {
+			if d[i] < 0 || d[i] < d[tr.parent[i]] {
+				return false
+			}
+		}
+		// Add cap at a random node; no delay may decrease.
+		node := rng.Intn(tr.NumNodes())
+		if err := tr.AddCap(node, 1e-14); err != nil {
+			return false
+		}
+		d2 := tr.Delays()
+		for i := range d {
+			if d2[i] < d[i]-1e-24 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDelays1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	tr := NewTree(1e-15)
+	for i := 0; i < 1000; i++ {
+		parent := rng.Intn(tr.NumNodes())
+		if _, err := tr.AddNode(parent, rng.Float64()*100, rng.Float64()*1e-15); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Delays()
+	}
+}

@@ -1,0 +1,214 @@
+// Package figone reproduces the paper's Fig. 1: an aggressor and a
+// victim inverter whose output wires share a coupling capacitance. It
+// produces the victim waveform with a quiet versus an opposite-switching
+// aggressor, and the victim-delay-versus-aggressor-alignment curve that
+// motivates the whole paper — the delay pushout peaks when the
+// aggressor switches while the victim transitions.
+package figone
+
+import (
+	"fmt"
+
+	"xtalksta/internal/ccc"
+	"xtalksta/internal/device"
+	"xtalksta/internal/netlist"
+	"xtalksta/internal/spice"
+	"xtalksta/internal/waveform"
+)
+
+// Fig holds sampled waveforms on a common time grid.
+type Fig struct {
+	Time          []float64
+	VictimQuiet   []float64
+	VictimCoupled []float64
+	Aggressor     []float64
+	QuietDelay    float64
+	CoupledDelay  float64
+}
+
+// SweepPoint is one sample of the alignment sweep.
+type SweepPoint struct {
+	AggressorTime float64
+	VictimDelay   float64
+}
+
+// pair builds the two-inverter coupled circuit. The victim input falls
+// (victim output rises); the aggressor input rises at aggT0 (aggressor
+// output falls). Set aggT0 beyond TStop for a quiet aggressor.
+type pair struct {
+	ckt        *spice.Circuit
+	vicOut     spice.NodeID
+	aggOut     spice.NodeID
+	aggIn      *spice.RampSource
+	initial    map[spice.NodeID]float64
+	vdd, tstop float64
+}
+
+func buildPair(lib *device.Library, cc, cg float64, aggT0 float64) (*pair, error) {
+	p := lib.Proc
+	siz := ccc.DefaultSizing(p)
+	ckt := spice.NewCircuit()
+	vdd, err := ckt.Rail("vdd", p.VDD)
+	if err != nil {
+		return nil, err
+	}
+	// Victim inverter: input falls at 0.5 ns.
+	vicIn, err := ckt.DriveNode("vic_in", &spice.RampSource{T0: 0.5e-9, TR: 0.2e-9, V0: p.VDD, V1: 0})
+	if err != nil {
+		return nil, err
+	}
+	vicOut := ckt.Node("vic_out")
+	if err := ccc.AddTransistors(ckt, lib, siz, netlist.INV, []spice.NodeID{vicIn}, vicOut, vdd, 1, "vic"); err != nil {
+		return nil, err
+	}
+	// Aggressor inverter: input rises at aggT0.
+	aggSrc := &spice.RampSource{T0: aggT0, TR: 0.1e-9, V0: 0, V1: p.VDD}
+	aggIn, err := ckt.DriveNode("agg_in", aggSrc)
+	if err != nil {
+		return nil, err
+	}
+	aggOut := ckt.Node("agg_out")
+	if err := ccc.AddTransistors(ckt, lib, siz, netlist.INV, []spice.NodeID{aggIn}, aggOut, vdd, 1, "agg"); err != nil {
+		return nil, err
+	}
+	// Loads and the coupling capacitance (Fig. 1's C_C between the
+	// lines, C to GND on each).
+	if err := ckt.AddCapacitor("cgv", vicOut, spice.Ground, cg); err != nil {
+		return nil, err
+	}
+	if err := ckt.AddCapacitor("cga", aggOut, spice.Ground, cg); err != nil {
+		return nil, err
+	}
+	if err := ckt.AddCapacitor("cc", vicOut, aggOut, cc); err != nil {
+		return nil, err
+	}
+	return &pair{
+		ckt:    ckt,
+		vicOut: vicOut,
+		aggOut: aggOut,
+		aggIn:  aggSrc,
+		initial: map[spice.NodeID]float64{
+			vicOut: 0,     // victim input high → output low
+			aggOut: p.VDD, // aggressor input low → output high
+		},
+		vdd:   p.VDD,
+		tstop: 6e-9,
+	}, nil
+}
+
+func (pr *pair) run() (*spice.Result, error) {
+	return pr.ckt.Transient(spice.TranOptions{
+		TStop:    pr.tstop,
+		DT:       2e-12,
+		Method:   spice.Trapezoidal,
+		InitialV: pr.initial,
+		Probes:   []spice.NodeID{pr.vicOut, pr.aggOut},
+	})
+}
+
+// victimDelay measures the victim's 50% rise relative to its input 50%
+// fall (at 0.6 ns).
+func victimDelay(res *spice.Result, vicOut spice.NodeID, vdd float64) (float64, error) {
+	tr, err := res.Trace(vicOut)
+	if err != nil {
+		return 0, err
+	}
+	t50, ok := tr.LastCrossing(vdd/2, waveform.Rising)
+	if !ok {
+		return 0, fmt.Errorf("figone: victim never rose past 50%% (final %g V)", tr.Final())
+	}
+	return t50 - 0.6e-9, nil
+}
+
+// Waveforms produces the Fig. 1 traces with a quiet and a worst-aligned
+// aggressor, resampled to n points.
+func Waveforms(lib *device.Library, cc, cg float64, n int) (*Fig, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("figone: need at least 2 samples, got %d", n)
+	}
+	quietPair, err := buildPair(lib, cc, cg, 1) // switches after TStop: quiet
+	if err != nil {
+		return nil, err
+	}
+	quietRes, err := quietPair.run()
+	if err != nil {
+		return nil, err
+	}
+	quietDelay, err := victimDelay(quietRes, quietPair.vicOut, quietPair.vdd)
+	if err != nil {
+		return nil, err
+	}
+
+	// Worst alignment search over a coarse grid.
+	bestT0, bestDelay := 0.0, -1.0
+	var bestRes *spice.Result
+	var bestPair *pair
+	for t0 := 0.35e-9; t0 <= 1.3e-9; t0 += 0.05e-9 {
+		pr, err := buildPair(lib, cc, cg, t0)
+		if err != nil {
+			return nil, err
+		}
+		res, err := pr.run()
+		if err != nil {
+			return nil, err
+		}
+		d, err := victimDelay(res, pr.vicOut, pr.vdd)
+		if err != nil {
+			return nil, err
+		}
+		if d > bestDelay {
+			bestDelay, bestT0, bestRes, bestPair = d, t0, res, pr
+		}
+	}
+	_ = bestT0
+
+	fig := &Fig{QuietDelay: quietDelay, CoupledDelay: bestDelay}
+	quietTr, err := quietRes.Trace(quietPair.vicOut)
+	if err != nil {
+		return nil, err
+	}
+	coupledTr, err := bestRes.Trace(bestPair.vicOut)
+	if err != nil {
+		return nil, err
+	}
+	aggTr, err := bestRes.Trace(bestPair.aggOut)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(n-1) * quietPair.tstop
+		fig.Time = append(fig.Time, t)
+		fig.VictimQuiet = append(fig.VictimQuiet, quietTr.At(t))
+		fig.VictimCoupled = append(fig.VictimCoupled, coupledTr.At(t))
+		fig.Aggressor = append(fig.Aggressor, aggTr.At(t))
+	}
+	return fig, nil
+}
+
+// AlignmentSweep measures the victim delay as a function of the
+// aggressor switching time — the bump curve that shows coupling only
+// matters while the victim transitions.
+func AlignmentSweep(lib *device.Library, cc, cg float64, points int) ([]SweepPoint, error) {
+	if points < 2 {
+		return nil, fmt.Errorf("figone: need at least 2 sweep points, got %d", points)
+	}
+	var out []SweepPoint
+	t0min, t0max := 0.1e-9, 2.0e-9
+	for i := 0; i < points; i++ {
+		t0 := t0min + float64(i)/float64(points-1)*(t0max-t0min)
+		pr, err := buildPair(lib, cc, cg, t0)
+		if err != nil {
+			return nil, err
+		}
+		res, err := pr.run()
+		if err != nil {
+			return nil, err
+		}
+		d, err := victimDelay(res, pr.vicOut, pr.vdd)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{AggressorTime: t0, VictimDelay: d})
+	}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+package figone
+
+import (
+	"testing"
+
+	"xtalksta/internal/device"
+)
+
+func lib() *device.Library {
+	return device.NewLibrary(device.Generic05um(), 0)
+}
+
+func TestWaveformsCouplingAddsDelay(t *testing.T) {
+	fig, err := Waveforms(lib(), 60e-15, 60e-15, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.CoupledDelay <= fig.QuietDelay {
+		t.Errorf("coupled delay %v must exceed quiet delay %v", fig.CoupledDelay, fig.QuietDelay)
+	}
+	pushout := fig.CoupledDelay - fig.QuietDelay
+	if pushout < 20e-12 {
+		t.Errorf("pushout %v implausibly small for equal Cc/Cg", pushout)
+	}
+	if len(fig.Time) != 50 || len(fig.VictimCoupled) != 50 {
+		t.Errorf("sample counts wrong: %d/%d", len(fig.Time), len(fig.VictimCoupled))
+	}
+	// The coupled victim trace must show a dip (non-monotone) — the
+	// glitch the model replaces by the restart.
+	sawDip := false
+	for i := 1; i < len(fig.VictimCoupled); i++ {
+		if fig.VictimCoupled[i] < fig.VictimCoupled[i-1]-0.05 {
+			sawDip = true
+		}
+	}
+	if !sawDip {
+		t.Error("coupled victim waveform shows no coupling dip")
+	}
+}
+
+func TestAlignmentSweepHasPeakInside(t *testing.T) {
+	sweep, err := AlignmentSweep(lib(), 60e-15, 60e-15, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 11 {
+		t.Fatalf("points = %d", len(sweep))
+	}
+	peak := 0
+	for i, pt := range sweep {
+		if pt.VictimDelay > sweep[peak].VictimDelay {
+			peak = i
+		}
+	}
+	if peak == 0 || peak == len(sweep)-1 {
+		t.Errorf("delay peak at sweep boundary (index %d) — alignment window too narrow", peak)
+	}
+	// Early and late aggressors barely matter: edges must be close to
+	// each other and below the peak.
+	if sweep[peak].VictimDelay <= sweep[0].VictimDelay+10e-12 {
+		t.Error("no meaningful alignment peak")
+	}
+}
+
+func TestBiggerCcBiggerPushout(t *testing.T) {
+	small, err := Waveforms(lib(), 20e-15, 100e-15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Waveforms(lib(), 100e-15, 100e-15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.CoupledDelay-big.QuietDelay <= small.CoupledDelay-small.QuietDelay {
+		t.Errorf("larger Cc must push out more: %v vs %v",
+			big.CoupledDelay-big.QuietDelay, small.CoupledDelay-small.QuietDelay)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Waveforms(lib(), 1e-15, 1e-15, 1); err == nil {
+		t.Error("n=1 must error")
+	}
+	if _, err := AlignmentSweep(lib(), 1e-15, 1e-15, 1); err == nil {
+		t.Error("points=1 must error")
+	}
+}

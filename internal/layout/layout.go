@@ -1,0 +1,648 @@
+// Package layout stands in for the routed 0.5 µm two-metal layouts of
+// the paper's evaluation. It places the cells of a circuit on a row
+// grid, routes every net with a trunk-and-branch pattern on a uniform
+// track grid (horizontal trunks on metal-1, vertical branches on
+// metal-2), and extracts per-net parasitics: grounded wire capacitance,
+// wire resistance, an Elmore RC tree per net, and — the part the
+// paper's algorithms feed on — coupling capacitances to the specific
+// nets occupying neighboring tracks.
+package layout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"xtalksta/internal/device"
+	"xtalksta/internal/elmore"
+	"xtalksta/internal/netlist"
+)
+
+// Options controls placement and routing geometry. All lengths are in
+// meters.
+type Options struct {
+	// RowHeight is the placement row pitch (default 12 µm).
+	RowHeight float64
+	// BaseCellWidth and WidthPerPin size cells (default 4 µm + 1 µm/pin).
+	BaseCellWidth, WidthPerPin float64
+	// TrackPitch is the routing track pitch on both layers (default
+	// 1.5 µm — minimum pitch, where the sidewall coupling constant of
+	// the process applies).
+	TrackPitch float64
+	// MaxTrackSearch bounds how far the legalizer may displace a
+	// segment from its preferred track (default 12 tracks = 18 µm).
+	// Larger displacements would distort wirelength badly; under
+	// congestion the router instead stacks on the preferred track,
+	// standing in for the extra layers a real router has.
+	MaxTrackSearch int
+	// MinCouplingOverlap drops coupling caps from overlaps shorter than
+	// this (default 2 µm), mirroring extraction thresholds in real
+	// flows.
+	MinCouplingOverlap float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.RowHeight == 0 {
+		o.RowHeight = 12e-6
+	}
+	if o.BaseCellWidth == 0 {
+		o.BaseCellWidth = 4e-6
+	}
+	if o.WidthPerPin == 0 {
+		o.WidthPerPin = 1e-6
+	}
+	if o.TrackPitch == 0 {
+		o.TrackPitch = 1.5e-6
+	}
+	if o.MaxTrackSearch == 0 {
+		o.MaxTrackSearch = 12
+	}
+	if o.MinCouplingOverlap == 0 {
+		o.MinCouplingOverlap = 2e-6
+	}
+	return o
+}
+
+// Point is a 2-D location in meters.
+type Point struct{ X, Y float64 }
+
+// seg is the internal routed-segment representation: a track index and
+// an extent [lo, hi] along the track direction.
+type seg struct {
+	net    netlist.NetID
+	track  int
+	lo, hi float64
+}
+
+// Layout is the placed-and-routed design.
+type Layout struct {
+	Opts    Options
+	Circuit *netlist.Circuit
+
+	CellPos map[netlist.CellID]Point // lower-left cell origin
+	// PinPos holds input pin positions; OutPos the output pin position
+	// per cell. PO pins sit at the die edge.
+	PinPos map[netlist.PinRef]Point
+	OutPos map[netlist.CellID]Point
+	POPos  map[netlist.NetID]Point
+	PIPos  map[netlist.NetID]Point
+
+	hsegs []seg // horizontal (metal-1): track = y index, extent = x
+	vsegs []seg // vertical (metal-2): track = x index, extent = y
+
+	clockSinks map[netlist.NetID][]netlist.CellID // clock net → DFFs it clocks
+
+	// TrunkFallbacks counts trunks the legalizer had to stack on an
+	// occupied track under congestion (a stand-in for extra layers).
+	TrunkFallbacks int
+
+	// Trees holds the per-net Elmore RC tree and the tree-node index of
+	// every sink pin.
+	Trees map[netlist.NetID]*NetTree
+
+	// DieW, DieH are the die dimensions.
+	DieW, DieH float64
+}
+
+// NetTree pairs a net's RC tree with its sink mapping.
+type NetTree struct {
+	Tree     *elmore.Tree
+	SinkNode map[netlist.PinRef]int
+	PONode   int // -1 when the net is not a PO
+	WireLen  float64
+}
+
+// Build places and routes the circuit. Parasitic extraction is a
+// separate step (Extract) so tests can inspect pure geometry.
+func Build(c *netlist.Circuit, opts Options) (*Layout, error) {
+	opts = opts.withDefaults()
+	if len(c.Cells) == 0 {
+		return nil, fmt.Errorf("layout: circuit %s has no cells", c.Name)
+	}
+	l := &Layout{
+		Opts:    opts,
+		Circuit: c,
+		CellPos: make(map[netlist.CellID]Point, len(c.Cells)),
+		PinPos:  make(map[netlist.PinRef]Point),
+		OutPos:  make(map[netlist.CellID]Point, len(c.Cells)),
+		POPos:   make(map[netlist.NetID]Point),
+		PIPos:   make(map[netlist.NetID]Point),
+		Trees:   make(map[netlist.NetID]*NetTree, len(c.Nets)),
+	}
+	l.clockSinks = make(map[netlist.NetID][]netlist.CellID)
+	for _, cell := range c.Cells {
+		if cell.Kind == netlist.DFF && cell.Clock != netlist.NoNet {
+			l.clockSinks[cell.Clock] = append(l.clockSinks[cell.Clock], cell.ID)
+		}
+	}
+	l.place()
+	if err := l.route(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// place arranges cells in snake order over rows: combinational cells in
+// topological order interleaved with their flip-flops keeps connected
+// cells near each other, which is what row-based placers achieve.
+func (l *Layout) place() {
+	c := l.Circuit
+	order, err := c.TopoOrder()
+	if err != nil {
+		// Validate() ran at construction; an error here would be a bug
+		// upstream — place defensively in index order.
+		order = nil
+		for i := range c.Cells {
+			order = append(order, netlist.CellID(i))
+		}
+	} else {
+		// Insert each flip-flop right before the earliest consumer of
+		// its Q output, so register banks sit next to the logic they
+		// feed (what a real placer's net model achieves).
+		pos := make(map[netlist.CellID]int, len(order))
+		for i, cid := range order {
+			pos[cid] = i
+		}
+		type keyed struct {
+			cid netlist.CellID
+			key float64
+		}
+		items := make([]keyed, 0, len(c.Cells))
+		for i, cid := range order {
+			items = append(items, keyed{cid, float64(i)})
+		}
+		for _, cell := range c.Cells {
+			if cell.Kind != netlist.DFF {
+				continue
+			}
+			key := float64(len(order)) // no consumer: park at the end
+			for _, pr := range c.Net(cell.Out).Fanout {
+				if p, ok := pos[pr.Cell]; ok && float64(p)-0.5 < key {
+					key = float64(p) - 0.5
+				}
+			}
+			items = append(items, keyed{cell.ID, key})
+		}
+		sort.SliceStable(items, func(i, j int) bool { return items[i].key < items[j].key })
+		order = order[:0]
+		for _, it := range items {
+			order = append(order, it.cid)
+		}
+	}
+
+	cellW := func(cell *netlist.Cell) float64 {
+		return l.Opts.BaseCellWidth + float64(len(cell.In))*l.Opts.WidthPerPin
+	}
+	// Row width targets a square die: total width / sqrt(n rows).
+	totalW := 0.0
+	for _, cid := range order {
+		totalW += cellW(c.Cell(cid))
+	}
+	rowW := math.Sqrt(totalW * l.Opts.RowHeight)
+	if rowW < 4*l.Opts.BaseCellWidth {
+		rowW = 4 * l.Opts.BaseCellWidth
+	}
+
+	x, row := 0.0, 0
+	dir := 1.0
+	maxX := 0.0
+	for _, cid := range order {
+		cell := c.Cell(cid)
+		w := cellW(cell)
+		if x+w > rowW {
+			row++
+			x = 0
+			dir = -dir
+		}
+		// Snake order: odd rows fill right-to-left.
+		px := x
+		if dir < 0 {
+			px = rowW - x - w
+		}
+		py := float64(row) * l.Opts.RowHeight
+		l.CellPos[cid] = Point{px, py}
+		for pin := range cell.In {
+			frac := float64(pin+1) / float64(len(cell.In)+2)
+			l.PinPos[netlist.PinRef{Cell: cid, Pin: pin}] = Point{px + frac*w, py}
+		}
+		l.OutPos[cid] = Point{px + 0.8*w, py}
+		x += w
+		if px+w > maxX {
+			maxX = px + w
+		}
+	}
+	l.DieW = maxX
+	l.DieH = float64(row+1) * l.Opts.RowHeight
+
+	// Primary I/O pins on the die boundary, spread deterministically.
+	for i, pi := range c.PIs {
+		frac := float64(i+1) / float64(len(c.PIs)+1)
+		l.PIPos[pi] = Point{frac * l.DieW, 0}
+	}
+	for i, po := range c.POs {
+		frac := float64(i+1) / float64(len(c.POs)+1)
+		l.POPos[po] = Point{frac * l.DieW, l.DieH}
+	}
+}
+
+// trackOcc tracks per-track occupied intervals for the greedy
+// legalizer.
+type trackOcc struct {
+	intervals map[int][]seg // track → segments, kept sorted by lo
+}
+
+func newTrackOcc() *trackOcc {
+	return &trackOcc{intervals: make(map[int][]seg)}
+}
+
+// placeSeg finds the closest track to want (within maxSearch) where
+// [lo, hi] does not overlap an existing segment, inserts, and returns
+// the chosen track.
+func (o *trackOcc) placeSeg(net netlist.NetID, want int, lo, hi float64, maxSearch int) (int, bool) {
+	for d := 0; d <= maxSearch; d++ {
+		for _, tr := range []int{want + d, want - d} {
+			if d == 0 && tr != want {
+				continue
+			}
+			if o.fits(tr, lo, hi) {
+				o.insert(seg{net: net, track: tr, lo: lo, hi: hi})
+				return tr, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func (o *trackOcc) fits(track int, lo, hi float64) bool {
+	for _, s := range o.intervals[track] {
+		if s.lo < hi && lo < s.hi {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *trackOcc) insert(s seg) {
+	lst := append(o.intervals[s.track], s)
+	sort.Slice(lst, func(i, j int) bool { return lst[i].lo < lst[j].lo })
+	o.intervals[s.track] = lst
+}
+
+// pinsOfNet collects the geometric pins of a net: the driver output (or
+// PI pad) plus all sink pins (and the PO pad).
+func (l *Layout) pinsOfNet(n *netlist.Net) (driver Point, sinks []Point, sinkRefs []netlist.PinRef, hasPO bool, poPt Point) {
+	if n.Driver != netlist.NoCell {
+		driver = l.OutPos[n.Driver]
+	} else {
+		driver = l.PIPos[n.ID]
+	}
+	for _, pr := range n.Fanout {
+		sinks = append(sinks, l.PinPos[pr])
+		sinkRefs = append(sinkRefs, pr)
+	}
+	// DFF clock pins: a clock net's fanout list only covers data pins;
+	// clock connectivity lives on Cell.Clock.
+	for _, cid := range l.clockSinks[n.ID] {
+		p := l.CellPos[cid]
+		sinks = append(sinks, Point{p.X, p.Y})
+		sinkRefs = append(sinkRefs, netlist.PinRef{Cell: cid, Pin: clockPinIndex})
+	}
+	if n.IsPO {
+		hasPO = true
+		poPt = l.POPos[n.ID]
+	}
+	return driver, sinks, sinkRefs, hasPO, poPt
+}
+
+// clockPinIndex aliases the protocol constant for DFF clock pins.
+const clockPinIndex = netlist.ClockPinIndex
+
+// ClockPin is the PinRef pin index used for flip-flop clock pins.
+func ClockPin() int { return clockPinIndex }
+
+// route builds trunk-and-branch routes for every net and the per-net
+// Elmore trees.
+func (l *Layout) route() error {
+	c := l.Circuit
+	hOcc := newTrackOcc()
+	vOcc := newTrackOcc()
+	pitch := l.Opts.TrackPitch
+
+	// Deterministic net order: by ID.
+	for _, n := range c.Nets {
+		driver, sinks, sinkRefs, hasPO, poPt := l.pinsOfNet(n)
+		if len(sinks) == 0 && !hasPO {
+			// Unloaded net (should not happen after generation, but a
+			// parsed benchmark may have dangling nets): no route.
+			l.Trees[n.ID] = &NetTree{Tree: elmore.NewTree(0), SinkNode: map[netlist.PinRef]int{}, PONode: -1}
+			continue
+		}
+		pts := append([]Point{driver}, sinks...)
+		if hasPO {
+			pts = append(pts, poPt)
+		}
+		// Trunk Y: median of pin Ys, snapped to the track grid.
+		ys := make([]float64, len(pts))
+		xs := make([]float64, len(pts))
+		for i, p := range pts {
+			ys[i] = p.Y
+			xs[i] = p.X
+		}
+		sort.Float64s(ys)
+		wantTrack := int(math.Round(ys[len(ys)/2] / pitch))
+		xlo, xhi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < xlo {
+				xlo = x
+			}
+			if x > xhi {
+				xhi = x
+			}
+		}
+		if xhi-xlo < pitch {
+			xhi = xlo + pitch // degenerate trunk still occupies a stub
+		}
+		track, ok := hOcc.placeSeg(n.ID, wantTrack, xlo, xhi, l.Opts.MaxTrackSearch)
+		if !ok {
+			// Congestion fallback: stack on the preferred track anyway.
+			// A real router would use additional layers; geometrically
+			// this only forfeits the (tiny) coupling the displaced
+			// trunk would have seen.
+			track = wantTrack
+			hOcc.insert(seg{net: n.ID, track: track, lo: xlo, hi: xhi})
+			l.TrunkFallbacks++
+		}
+		trunkY := float64(track) * pitch
+		l.hsegs = append(l.hsegs, seg{net: n.ID, track: track, lo: xlo, hi: xhi})
+
+		// Vertical branches: one per pin from its Y to the trunk.
+		addBranch := func(p Point) float64 {
+			lo, hi := math.Min(p.Y, trunkY), math.Max(p.Y, trunkY)
+			if hi-lo < 1e-12 {
+				return 0 // pin sits on the trunk
+			}
+			wantV := int(math.Round(p.X / pitch))
+			vt, ok := vOcc.placeSeg(n.ID, wantV, lo, hi, l.Opts.MaxTrackSearch)
+			if !ok {
+				// Branch congestion: fall back to stacking on the
+				// preferred track anyway (real routers use more layers).
+				vt = wantV
+				vOcc.insert(seg{net: n.ID, track: vt, lo: lo, hi: hi})
+			}
+			l.vsegs = append(l.vsegs, seg{net: n.ID, track: vt, lo: lo, hi: hi})
+			return hi - lo
+		}
+
+		// RC tree: root is the driver pin; the driver branch reaches
+		// the trunk, then the trunk chains between tap x positions, and
+		// sink branches hang off their taps. Edge "resistances" store
+		// raw lengths here; Extract scales them by process constants.
+		nt := &NetTree{SinkNode: make(map[netlist.PinRef]int), PONode: -1}
+		tree := elmore.NewTree(0)
+
+		type tap struct {
+			x      float64
+			branch float64 // branch wire length
+			sink   int     // index into sinkRefs, -1 driver, -2 PO
+		}
+		taps := []tap{{x: driver.X, branch: addBranch(driver), sink: -1}}
+		for i, p := range sinks {
+			taps = append(taps, tap{x: p.X, branch: addBranch(p), sink: i})
+		}
+		if hasPO {
+			taps = append(taps, tap{x: poPt.X, branch: addBranch(poPt), sink: -2})
+		}
+		sort.Slice(taps, func(i, j int) bool { return taps[i].x < taps[j].x })
+
+		// Locate the driver tap.
+		drvIdx := 0
+		for i, tp := range taps {
+			if tp.sink == -1 {
+				drvIdx = i
+				break
+			}
+		}
+		wireLen := xhi - xlo
+		// Build tree nodes; lengths are stored as "resistance/cap per
+		// meter = 1" and scaled in Extract.
+		nodeOf := make([]int, len(taps))
+		// Driver branch from the root to the driver tap.
+		drvNode, err := tree.AddNode(0, taps[drvIdx].branch, 0)
+		if err != nil {
+			return err
+		}
+		nodeOf[drvIdx] = drvNode
+		wireLen += taps[drvIdx].branch
+		// Walk right then left from the driver tap along the trunk.
+		for i := drvIdx + 1; i < len(taps); i++ {
+			segLen := taps[i].x - taps[i-1].x
+			node, err := tree.AddNode(nodeOf[i-1], segLen, 0)
+			if err != nil {
+				return err
+			}
+			nodeOf[i] = node
+		}
+		for i := drvIdx - 1; i >= 0; i-- {
+			segLen := taps[i+1].x - taps[i].x
+			node, err := tree.AddNode(nodeOf[i+1], segLen, 0)
+			if err != nil {
+				return err
+			}
+			nodeOf[i] = node
+		}
+		// Sink branches.
+		for i, tp := range taps {
+			if tp.sink == -1 {
+				continue
+			}
+			node, err := tree.AddNode(nodeOf[i], tp.branch, 0)
+			if err != nil {
+				return err
+			}
+			wireLen += tp.branch
+			if tp.sink == -2 {
+				nt.PONode = node
+			} else {
+				nt.SinkNode[sinkRefs[tp.sink]] = node
+			}
+		}
+		nt.Tree = tree
+		nt.WireLen = wireLen
+		l.Trees[n.ID] = nt
+	}
+	return nil
+}
+
+// WirelengthStats summarizes routed wirelength for reporting.
+func (l *Layout) WirelengthStats() (total, max float64) {
+	for _, nt := range l.Trees {
+		total += nt.WireLen
+		if nt.WireLen > max {
+			max = nt.WireLen
+		}
+	}
+	return total, max
+}
+
+// couplingKey is an unordered net pair.
+type couplingKey struct{ a, b netlist.NetID }
+
+func orderedKey(a, b netlist.NetID) couplingKey {
+	if a > b {
+		a, b = b, a
+	}
+	return couplingKey{a, b}
+}
+
+// adjacentOverlaps finds, for every pair of segments on adjacent tracks
+// of one layer, their extent overlap. Returns aggregated overlap length
+// per net pair.
+func adjacentOverlaps(segs []seg, minOverlap float64) map[couplingKey]float64 {
+	byTrack := make(map[int][]seg)
+	for _, s := range segs {
+		byTrack[s.track] = append(byTrack[s.track], s)
+	}
+	for _, lst := range byTrack {
+		sort.Slice(lst, func(i, j int) bool { return lst[i].lo < lst[j].lo })
+	}
+	out := make(map[couplingKey]float64)
+	for track, lst := range byTrack {
+		nbr, ok := byTrack[track+1]
+		if !ok {
+			continue
+		}
+		// Merge scan: both lists sorted by lo.
+		j := 0
+		for _, a := range lst {
+			// Advance past neighbors that end before a starts.
+			for j < len(nbr) && nbr[j].hi <= a.lo {
+				j++
+			}
+			for k := j; k < len(nbr) && nbr[k].lo < a.hi; k++ {
+				b := nbr[k]
+				if a.net == b.net {
+					continue
+				}
+				ov := math.Min(a.hi, b.hi) - math.Max(a.lo, b.lo)
+				if ov >= minOverlap {
+					out[orderedKey(a.net, b.net)] += ov
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Extract annotates the circuit's nets with parasitics derived from the
+// routed geometry. pinCap maps each sink pin to its capacitance (the
+// transistor-level gate input capacitance); poCap is the load of a
+// primary-output pad.
+func (l *Layout) Extract(proc device.Process, pinCap func(netlist.PinRef) float64, poCap float64) error {
+	c := l.Circuit
+	// Wire R/C from lengths.
+	for _, n := range c.Nets {
+		nt, ok := l.Trees[n.ID]
+		if !ok {
+			continue
+		}
+		n.Par = netlist.Parasitics{
+			CWire:         proc.CwirePerLen * nt.WireLen,
+			RWire:         proc.RwirePerLen * nt.WireLen,
+			SinkWireDelay: make(map[netlist.PinRef]float64),
+		}
+		// Scale the unit-length tree into a real RC tree: the tree was
+		// built with R = length; rebuild with process constants and pin
+		// caps, then read the Elmore delays.
+		scaled, sinkNodes, poNode, err := scaleTree(nt, proc, pinCap, poCap)
+		if err != nil {
+			return fmt.Errorf("layout: net %s: %w", n.Name, err)
+		}
+		delays := scaled.Delays()
+		for pr, node := range sinkNodes {
+			n.Par.SinkWireDelay[pr] = delays[node]
+		}
+		if poNode >= 0 {
+			n.Par.POWireDelay = delays[poNode]
+		}
+	}
+	// Coupling caps from adjacency on both layers.
+	overlaps := adjacentOverlaps(l.hsegs, l.Opts.MinCouplingOverlap)
+	for k, ov := range adjacentOverlaps(l.vsegs, l.Opts.MinCouplingOverlap) {
+		overlaps[k] += ov
+	}
+	// Shielding normalization: a wire physically has at most one
+	// neighbor per side, so its total coupled run length cannot exceed
+	// twice its own length. Congestion fallbacks stack several segments
+	// on one track, which would otherwise multiply-count the same
+	// geometric adjacency; scale each net's overlaps down to the
+	// physical budget, symmetrically per pair.
+	totalOv := make(map[netlist.NetID]float64)
+	for k, ov := range overlaps {
+		totalOv[k.a] += ov
+		totalOv[k.b] += ov
+	}
+	scale := func(id netlist.NetID) float64 {
+		nt, ok := l.Trees[id]
+		if !ok || totalOv[id] == 0 {
+			return 1
+		}
+		budget := 2 * nt.WireLen
+		if totalOv[id] <= budget {
+			return 1
+		}
+		return budget / totalOv[id]
+	}
+	for k, ov := range overlaps {
+		s := math.Min(scale(k.a), scale(k.b))
+		cc := proc.CcouplePerLen * ov * s
+		na, nb := c.Net(k.a), c.Net(k.b)
+		na.Par.Couplings = append(na.Par.Couplings, netlist.Coupling{Other: k.b, C: cc})
+		nb.Par.Couplings = append(nb.Par.Couplings, netlist.Coupling{Other: k.a, C: cc})
+	}
+	// Deterministic coupling order.
+	for _, n := range c.Nets {
+		sort.Slice(n.Par.Couplings, func(i, j int) bool {
+			return n.Par.Couplings[i].Other < n.Par.Couplings[j].Other
+		})
+	}
+	return nil
+}
+
+// scaleTree converts a unit-length tree (edge R = meters) into a real
+// RC tree with process constants and terminal capacitances.
+func scaleTree(nt *NetTree, proc device.Process, pinCap func(netlist.PinRef) float64, poCap float64) (*elmore.Tree, map[netlist.PinRef]int, int, error) {
+	src := nt.Tree
+	n := src.NumNodes()
+	out := elmore.NewTree(0)
+	// The source tree's node i>0 has parent p and edge "R" = length.
+	// Rebuild in index order (parents precede children by construction).
+	for i := 1; i < n; i++ {
+		length := src.EdgeR(i)
+		parent := src.Parent(i)
+		r := proc.RwirePerLen * length
+		if r <= 0 {
+			r = 1e-3 // zero-length stubs: negligible resistance
+		}
+		cw := proc.CwirePerLen * length
+		// Distribute wire cap: half at each end.
+		if _, err := out.AddNode(parent, r, cw/2); err != nil {
+			return nil, nil, -1, err
+		}
+		if err := out.AddCap(parent, cw/2); err != nil {
+			return nil, nil, -1, err
+		}
+	}
+	sinkNodes := make(map[netlist.PinRef]int, len(nt.SinkNode))
+	for pr, node := range nt.SinkNode {
+		if err := out.AddCap(node, pinCap(pr)); err != nil {
+			return nil, nil, -1, err
+		}
+		sinkNodes[pr] = node
+	}
+	if nt.PONode >= 0 {
+		if err := out.AddCap(nt.PONode, poCap); err != nil {
+			return nil, nil, -1, err
+		}
+	}
+	return out, sinkNodes, nt.PONode, nil
+}

@@ -1,0 +1,265 @@
+package liberty
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"xtalksta/internal/netlist"
+	"xtalksta/internal/waveform"
+)
+
+// Liberty-flavored on-disk format:
+//
+//	library (name) {
+//	  arc (NAND2/1/rise) {
+//	    index_slew ("5e-11 1.2e-10 ...");
+//	    index_load ("5e-15 ...");
+//	    index_ratio ("0 0.25 ...");
+//	    delay ("a b c ; d e f | ...");
+//	    out_slew ("...");
+//	    restart ("...");
+//	    completion ("...");
+//	  }
+//	}
+//
+// Surfaces are serialized slew-major: '|' separates slew blocks, ';'
+// separates load rows, spaces separate ratio entries.
+
+// Write emits the library.
+func (l *Library) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "library (%s) {\n", l.Name)
+	for _, class := range l.Classes() {
+		t := l.tables[class]
+		fmt.Fprintf(bw, "  arc (%s) {\n", class)
+		fmt.Fprintf(bw, "    index_slew (%q);\n", floats(t.Slews))
+		fmt.Fprintf(bw, "    index_load (%q);\n", floats(t.Loads))
+		fmt.Fprintf(bw, "    index_ratio (%q);\n", floats(t.Ratios))
+		fmt.Fprintf(bw, "    delay (%q);\n", surface(t.Delay))
+		fmt.Fprintf(bw, "    out_slew (%q);\n", surface(t.OutSlew))
+		fmt.Fprintf(bw, "    restart (%q);\n", surface(t.Restart))
+		fmt.Fprintf(bw, "    completion (%q);\n", surface(t.Completion))
+		fmt.Fprintf(bw, "  }\n")
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+func floats(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = strconv.FormatFloat(x, 'g', 9, 64)
+	}
+	return strings.Join(parts, " ")
+}
+
+func surface(s [][][]float64) string {
+	blocks := make([]string, len(s))
+	for i, rows := range s {
+		rr := make([]string, len(rows))
+		for j, row := range rows {
+			rr[j] = floats(row)
+		}
+		blocks[i] = strings.Join(rr, " ; ")
+	}
+	return strings.Join(blocks, " | ")
+}
+
+// Parse reads a library written by Write. The process and sizing are
+// supplied by the caller (the file stores only the tables).
+func Parse(r io.Reader, procSource *Library) (*Library, error) {
+	if procSource == nil {
+		return nil, fmt.Errorf("liberty: Parse needs a process/sizing source library")
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<22), 1<<22)
+	lib := &Library{
+		proc:   procSource.proc,
+		sizing: procSource.sizing,
+		tables: make(map[ArcClass]*ArcTable),
+	}
+	var cur *ArcTable
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "}":
+			continue
+		case strings.HasPrefix(line, "library ("):
+			name, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("liberty: line %d: %w", lineNo, err)
+			}
+			lib.Name = name
+		case strings.HasPrefix(line, "arc ("):
+			spec, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("liberty: line %d: %w", lineNo, err)
+			}
+			class, err := parseClass(spec)
+			if err != nil {
+				return nil, fmt.Errorf("liberty: line %d: %w", lineNo, err)
+			}
+			cur = &ArcTable{}
+			lib.tables[class] = cur
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("liberty: line %d: attribute outside arc block: %q", lineNo, line)
+			}
+			key, val, err := attr(line)
+			if err != nil {
+				return nil, fmt.Errorf("liberty: line %d: %w", lineNo, err)
+			}
+			switch key {
+			case "index_slew":
+				cur.Slews, err = parseFloats(val)
+			case "index_load":
+				cur.Loads, err = parseFloats(val)
+			case "index_ratio":
+				cur.Ratios, err = parseFloats(val)
+			case "delay":
+				cur.Delay, err = parseSurface(val)
+			case "out_slew":
+				cur.OutSlew, err = parseSurface(val)
+			case "restart":
+				cur.Restart, err = parseSurface(val)
+			case "completion":
+				cur.Completion, err = parseSurface(val)
+			default:
+				err = fmt.Errorf("unknown attribute %q", key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("liberty: line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("liberty: %w", err)
+	}
+	for class, t := range lib.tables {
+		if err := t.validate(); err != nil {
+			return nil, fmt.Errorf("liberty: arc %s: %w", class, err)
+		}
+	}
+	return lib, nil
+}
+
+func (t *ArcTable) validate() error {
+	if len(t.Slews) == 0 || len(t.Loads) == 0 || len(t.Ratios) == 0 {
+		return fmt.Errorf("missing index axes")
+	}
+	check := func(name string, s [][][]float64) error {
+		if len(s) != len(t.Slews) {
+			return fmt.Errorf("%s: %d slew blocks, want %d", name, len(s), len(t.Slews))
+		}
+		for i := range s {
+			if len(s[i]) != len(t.Loads) {
+				return fmt.Errorf("%s: %d load rows, want %d", name, len(s[i]), len(t.Loads))
+			}
+			for j := range s[i] {
+				if len(s[i][j]) != len(t.Ratios) {
+					return fmt.Errorf("%s: %d ratio entries, want %d", name, len(s[i][j]), len(t.Ratios))
+				}
+			}
+		}
+		return nil
+	}
+	for _, sf := range []struct {
+		name string
+		s    [][][]float64
+	}{{"delay", t.Delay}, {"out_slew", t.OutSlew}, {"restart", t.Restart}, {"completion", t.Completion}} {
+		if err := check(sf.name, sf.s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parenArg(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.Index(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed block header %q", line)
+	}
+	return strings.TrimSpace(line[open+1 : close]), nil
+}
+
+func attr(line string) (key, val string, err error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", "", fmt.Errorf("malformed attribute %q", line)
+	}
+	key = strings.TrimSpace(line[:open])
+	val = strings.TrimSpace(line[open+1 : close])
+	val = strings.Trim(val, `"`)
+	return key, val, nil
+}
+
+func parseClass(spec string) (ArcClass, error) {
+	parts := strings.Split(spec, "/")
+	if len(parts) != 3 {
+		return ArcClass{}, fmt.Errorf("malformed arc class %q", spec)
+	}
+	// Kind and NIn are fused, e.g. "NAND3" or "NOT1".
+	kindStr := strings.TrimRight(parts[0], "0123456789")
+	ninStr := parts[0][len(kindStr):]
+	kind, ok := netlist.ParseGateKind(kindStr)
+	if !ok {
+		return ArcClass{}, fmt.Errorf("unknown gate kind %q", kindStr)
+	}
+	nin, err := strconv.Atoi(ninStr)
+	if err != nil {
+		return ArcClass{}, fmt.Errorf("bad fanin in %q", spec)
+	}
+	pin, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return ArcClass{}, fmt.Errorf("bad pin in %q", spec)
+	}
+	var dir waveform.Direction
+	switch parts[2] {
+	case "rise":
+		dir = waveform.Rising
+	case "fall":
+		dir = waveform.Falling
+	default:
+		return ArcClass{}, fmt.Errorf("bad direction in %q", spec)
+	}
+	return ArcClass{Kind: kind, NIn: nin, Pin: pin, Dir: dir}, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	fields := strings.Fields(s)
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", f)
+		}
+		out[i] = v
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty float list")
+	}
+	return out, nil
+}
+
+func parseSurface(s string) ([][][]float64, error) {
+	var out [][][]float64
+	for _, block := range strings.Split(s, "|") {
+		var rows [][]float64
+		for _, row := range strings.Split(block, ";") {
+			vals, err := parseFloats(row)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, vals)
+		}
+		out = append(out, rows)
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// evalAdderComb evaluates the adder's combinational core for given
+// register values by poking DFF outputs directly.
+func evalAdderComb(t *testing.T, c *Circuit, a, b uint8, cin bool) (sum uint8, cout bool) {
+	t.Helper()
+	val := make(map[NetID]bool)
+	set := func(name string, v bool) {
+		n, ok := c.NetByName(name)
+		if !ok {
+			t.Fatalf("missing net %s", name)
+		}
+		val[n.ID] = v
+	}
+	for i := 0; i < 4; i++ {
+		set("RA"+string(rune('0'+i)), a&(1<<i) != 0)
+		set("RB"+string(rune('0'+i)), b&(1<<i) != 0)
+	}
+	set("RC", cin)
+	// PIs are don't-cares for the combinational core.
+	for _, pi := range c.PIs {
+		val[pi] = false
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cid := range order {
+		cell := c.Cell(cid)
+		in := make([]bool, len(cell.In))
+		for i, nid := range cell.In {
+			in[i] = val[nid]
+		}
+		v, err := cell.Kind.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		val[cell.Out] = v
+	}
+	get := func(name string) bool {
+		n, _ := c.NetByName(name)
+		return val[n.ID]
+	}
+	for i := 0; i < 4; i++ {
+		if get("X" + string(rune('0'+i))) {
+			sum |= 1 << i
+		}
+	}
+	return sum, get("C4")
+}
+
+// TestAdder4TruthTable verifies the embedded adder against arithmetic
+// for every input combination (quick-driven random plus the corners).
+func TestAdder4TruthTable(t *testing.T) {
+	c := Adder4()
+	check := func(a, b uint8, cin bool) bool {
+		a &= 0xF
+		b &= 0xF
+		sum, cout := evalAdderComb(t, c, a, b, cin)
+		want := uint16(a) + uint16(b)
+		if cin {
+			want++
+		}
+		return sum == uint8(want&0xF) && cout == (want > 0xF)
+	}
+	for _, corner := range [][3]any{
+		{uint8(0), uint8(0), false}, {uint8(15), uint8(15), true},
+		{uint8(15), uint8(1), false}, {uint8(8), uint8(8), false},
+	} {
+		if !check(corner[0].(uint8), corner[1].(uint8), corner[2].(bool)) {
+			t.Errorf("corner %v failed", corner)
+		}
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAdder4LoweredStillAdds verifies logic is preserved through the
+// primitive lowering (the XOR tree transformation in particular).
+func TestAdder4LoweredStillAdds(t *testing.T) {
+	low := Adder4()
+	if err := Lower(low); err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint8, cin bool) bool {
+		a &= 0xF
+		b &= 0xF
+		sum, cout := evalAdderComb(t, low, a, b, cin)
+		want := uint16(a) + uint16(b)
+		if cin {
+			want++
+		}
+		return sum == uint8(want&0xF) && cout == (want > 0xF)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdder4Stats(t *testing.T) {
+	c := Adder4()
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DFFs != 14 {
+		t.Errorf("DFFs = %d, want 14", st.DFFs)
+	}
+	if st.ByKind[XOR] != 8 {
+		t.Errorf("XORs = %d, want 8", st.ByKind[XOR])
+	}
+	if st.LogicDepth < 8 {
+		t.Errorf("ripple chain depth %d implausibly small", st.LogicDepth)
+	}
+}

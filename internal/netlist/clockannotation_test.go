@@ -1,0 +1,85 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestClockAnnotationsRoundTrip(t *testing.T) {
+	// Build a circuit with a clock tree by hand.
+	c := New("clk")
+	clk := c.AddNet("CLK")
+	c.MarkPI(clk)
+	c.Net(clk).IsClock = true
+	c.ClockRoot = clk
+	leaf := c.AddNet("CLKLEAF")
+	c.Net(leaf).IsClock = true
+	if _, err := c.AddCell("cb0", CLKBUF, []NetID{clk}, leaf); err != nil {
+		t.Fatal(err)
+	}
+	d := c.AddNet("D")
+	c.MarkPI(d)
+	q := c.AddNet("Q")
+	ff, err := c.AddCell("ff0", DFF, []NetID{d}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Cell(ff).Clock = leaf
+	out := c.AddNet("OUT")
+	if _, err := c.AddCell("i0", INV, []NetID{q}, out); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkPO(out)
+
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "# @clocknet CLK\n") || !strings.Contains(text, "# @dffclock Q CLKLEAF\n") {
+		t.Fatalf("annotations missing:\n%s", text)
+	}
+
+	c2, err := ParseBench("rt", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk2, ok := c2.NetByName("CLK")
+	if !ok || !clk2.IsClock {
+		t.Error("CLK not marked as clock after round trip")
+	}
+	if c2.ClockRoot != clk2.ID {
+		t.Error("clock root not restored")
+	}
+	q2, _ := c2.NetByName("Q")
+	ff2 := c2.Cell(q2.Driver)
+	if ff2.Kind != DFF {
+		t.Fatalf("Q driver is %s", ff2.Kind)
+	}
+	leaf2, _ := c2.NetByName("CLKLEAF")
+	if ff2.Clock != leaf2.ID {
+		t.Errorf("DFF clock pin not restored: %v vs %v", ff2.Clock, leaf2.ID)
+	}
+	if !leaf2.IsClock {
+		t.Error("CLKLEAF not marked as clock")
+	}
+}
+
+func TestClockAnnotationErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown q":   "INPUT(A)\nOUTPUT(Y)\nY = NOT(A)\n# @dffclock NOPE A\n",
+		"not a dff":   "INPUT(A)\nOUTPUT(Y)\nY = NOT(A)\n# @dffclock Y A\n",
+		"unknown clk": "INPUT(A)\nOUTPUT(Y)\nQ = DFF(A)\nY = NOT(Q)\n# @dffclock Q NOPE\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseBench("t", strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Unknown clocknet annotation is silently ignored (permissive).
+	src := "INPUT(A)\nOUTPUT(Y)\nY = NOT(A)\n# @clocknet NOPE\n"
+	if _, err := ParseBench("t", strings.NewReader(src)); err != nil {
+		t.Errorf("unknown @clocknet should be tolerated: %v", err)
+	}
+}

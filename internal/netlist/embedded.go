@@ -1,0 +1,132 @@
+package netlist
+
+import "strings"
+
+// S27Bench is the genuine ISCAS89 s27 benchmark netlist, embedded for
+// correctness tests and small end-to-end examples.
+const S27Bench = `# s27
+# 4 inputs
+# 1 outputs
+# 3 D-type flipflops
+# 2 inverters
+# 8 gates (1 ANDs + 1 NANDs + 2 ORs + 4 NORs)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+// RingBench is a small hand-written sequential circuit with a longer
+// combinational chain, useful for path tests.
+const RingBench = `# ring8: 8-stage inverter/nand chain between two flops
+INPUT(A)
+INPUT(B)
+OUTPUT(OUT)
+Q0 = DFF(D0)
+N1 = NAND(Q0, A)
+N2 = NOT(N1)
+N3 = NAND(N2, B)
+N4 = NOT(N3)
+N5 = NOR(N4, A)
+N6 = NOT(N5)
+N7 = NAND(N6, N2)
+D0 = NOT(N7)
+OUT = NOT(N7)
+`
+
+// Adder4Bench is a hand-written 4-bit ripple-carry adder with input
+// and output registers — realistic arithmetic logic with XOR-heavy
+// carry chains (the worst case for the inverting-primitive lowering).
+// Sum = A + B + CIN; S4 is the carry out.
+const Adder4Bench = `# adder4: registered 4-bit ripple-carry adder
+INPUT(A0)
+INPUT(A1)
+INPUT(A2)
+INPUT(A3)
+INPUT(B0)
+INPUT(B1)
+INPUT(B2)
+INPUT(B3)
+INPUT(CIN)
+OUTPUT(S0)
+OUTPUT(S1)
+OUTPUT(S2)
+OUTPUT(S3)
+OUTPUT(S4)
+RA0 = DFF(A0)
+RA1 = DFF(A1)
+RA2 = DFF(A2)
+RA3 = DFF(A3)
+RB0 = DFF(B0)
+RB1 = DFF(B1)
+RB2 = DFF(B2)
+RB3 = DFF(B3)
+RC = DFF(CIN)
+P0 = XOR(RA0, RB0)
+G0 = AND(RA0, RB0)
+X0 = XOR(P0, RC)
+T0 = AND(P0, RC)
+C1 = OR(G0, T0)
+P1 = XOR(RA1, RB1)
+G1 = AND(RA1, RB1)
+X1 = XOR(P1, C1)
+T1 = AND(P1, C1)
+C2 = OR(G1, T1)
+P2 = XOR(RA2, RB2)
+G2 = AND(RA2, RB2)
+X2 = XOR(P2, C2)
+T2 = AND(P2, C2)
+C3 = OR(G2, T2)
+P3 = XOR(RA3, RB3)
+G3 = AND(RA3, RB3)
+X3 = XOR(P3, C3)
+T3 = AND(P3, C3)
+C4 = OR(G3, T3)
+S0 = DFF(X0)
+S1 = DFF(X1)
+S2 = DFF(X2)
+S3 = DFF(X3)
+S4 = DFF(C4)
+`
+
+// Adder4 parses the embedded registered ripple-carry adder.
+func Adder4() *Circuit {
+	c, err := ParseBench("adder4", strings.NewReader(Adder4Bench))
+	if err != nil {
+		panic("netlist: embedded adder4 is invalid: " + err.Error())
+	}
+	return c
+}
+
+// S27 parses the embedded s27 netlist. It panics on failure, which
+// would indicate a broken embedded constant.
+func S27() *Circuit {
+	c, err := ParseBench("s27", strings.NewReader(S27Bench))
+	if err != nil {
+		panic("netlist: embedded s27 is invalid: " + err.Error())
+	}
+	return c
+}
+
+// Ring8 parses the embedded ring benchmark.
+func Ring8() *Circuit {
+	c, err := ParseBench("ring8", strings.NewReader(RingBench))
+	if err != nil {
+		panic("netlist: embedded ring8 is invalid: " + err.Error())
+	}
+	return c
+}

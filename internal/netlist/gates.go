@@ -1,0 +1,163 @@
+// Package netlist models gate-level sequential circuits in the style of
+// the ISCAS89 benchmarks the paper evaluates on: primary inputs and
+// outputs, combinational gates, and D flip-flops. It parses and writes
+// the `.bench` format, lowers rich gate types onto the inverting
+// primitive library used by the transistor-level delay calculator, and
+// carries the per-net parasitics produced by the layout extractor.
+package netlist
+
+import "fmt"
+
+// GateKind enumerates the supported cell functions.
+type GateKind int
+
+const (
+	// Combinational gates.
+	INV GateKind = iota
+	BUF
+	NAND
+	NOR
+	AND
+	OR
+	XOR
+	XNOR
+	// DFF is a positive-edge D flip-flop (the sequential element of the
+	// ISCAS89 benchmarks).
+	DFF
+	// CLKBUF is a clock-tree buffer; electrically a BUF, but marked so
+	// the analyses can recognize clock distribution cells.
+	CLKBUF
+)
+
+var gateNames = map[GateKind]string{
+	INV: "NOT", BUF: "BUFF", NAND: "NAND", NOR: "NOR",
+	AND: "AND", OR: "OR", XOR: "XOR", XNOR: "XNOR",
+	DFF: "DFF", CLKBUF: "CLKBUF",
+}
+
+// String returns the `.bench` spelling of the gate kind.
+func (k GateKind) String() string {
+	if s, ok := gateNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("GateKind(%d)", int(k))
+}
+
+// ParseGateKind maps a `.bench` gate name (case-insensitive variants of
+// the ISCAS89 spellings) to a GateKind.
+func ParseGateKind(s string) (GateKind, bool) {
+	switch s {
+	case "NOT", "not", "INV", "inv":
+		return INV, true
+	case "BUFF", "buff", "BUF", "buf":
+		return BUF, true
+	case "NAND", "nand":
+		return NAND, true
+	case "NOR", "nor":
+		return NOR, true
+	case "AND", "and":
+		return AND, true
+	case "OR", "or":
+		return OR, true
+	case "XOR", "xor":
+		return XOR, true
+	case "XNOR", "xnor":
+		return XNOR, true
+	case "DFF", "dff":
+		return DFF, true
+	case "CLKBUF", "clkbuf":
+		return CLKBUF, true
+	}
+	return 0, false
+}
+
+// Inverting reports whether a single-stage implementation of the gate
+// inverts its inputs (output transition direction is opposite to the
+// causing input's). Non-unate gates (XOR/XNOR) return false here and
+// are handled by lowering.
+func (k GateKind) Inverting() bool {
+	switch k {
+	case INV, NAND, NOR:
+		return true
+	}
+	return false
+}
+
+// Primitive reports whether the gate kind is part of the inverting
+// primitive library implemented at transistor level (INV, NAND, NOR,
+// DFF). Lower rewrites everything else onto these.
+func (k GateKind) Primitive() bool {
+	switch k {
+	case INV, NAND, NOR, DFF:
+		return true
+	}
+	return false
+}
+
+// MinInputs and MaxInputs bound the legal fanin per kind.
+func (k GateKind) MinInputs() int {
+	switch k {
+	case INV, BUF, DFF, CLKBUF:
+		return 1
+	case XOR, XNOR:
+		return 2
+	default:
+		return 2
+	}
+}
+
+// MaxInputs returns the maximum supported fanin (4 for the primitive
+// stacks — deeper series stacks are mapped to trees by Lower).
+func (k GateKind) MaxInputs() int {
+	switch k {
+	case INV, BUF, DFF, CLKBUF:
+		return 1
+	case XOR, XNOR:
+		return 2
+	default:
+		return 16 // parser accepts wide gates; Lower splits them
+	}
+}
+
+// Eval computes the Boolean function for the given input values. DFF
+// and CLKBUF pass their (single) input through — useful for logic
+// checks of lowered netlists, not for timing.
+func (k GateKind) Eval(in []bool) (bool, error) {
+	if len(in) < k.MinInputs() {
+		return false, fmt.Errorf("netlist: %s needs at least %d inputs, got %d", k, k.MinInputs(), len(in))
+	}
+	switch k {
+	case INV:
+		return !in[0], nil
+	case BUF, DFF, CLKBUF:
+		return in[0], nil
+	case AND, NAND:
+		v := true
+		for _, b := range in {
+			v = v && b
+		}
+		if k == NAND {
+			v = !v
+		}
+		return v, nil
+	case OR, NOR:
+		v := false
+		for _, b := range in {
+			v = v || b
+		}
+		if k == NOR {
+			v = !v
+		}
+		return v, nil
+	case XOR, XNOR:
+		v := false
+		for _, b := range in {
+			v = v != b
+		}
+		if k == XNOR {
+			v = !v
+		}
+		return v, nil
+	}
+	return false, fmt.Errorf("netlist: Eval: unknown gate kind %d", int(k))
+}

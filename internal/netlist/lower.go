@@ -1,0 +1,226 @@
+package netlist
+
+import "fmt"
+
+// Lower rewrites the circuit in place so that every combinational cell
+// is one of the inverting primitives implemented at transistor level:
+// INV, NAND (2..4 inputs) and NOR (2..4 inputs). DFFs are kept; CLKBUF
+// becomes an INV pair.
+//
+//	BUF      → INV·INV
+//	AND(n)   → NAND(n)·INV
+//	OR(n)    → NOR(n)·INV
+//	XOR(a,b) → NAND tree: n1=NAND(a,b); NAND(NAND(a,n1), NAND(b,n1))
+//	XNOR     → XOR·INV
+//	NAND/NOR with >4 inputs → balanced trees of 4-input primitives
+//
+// New internal nets are created for the intermediate stages; they
+// participate in layout and coupling like any other net, matching how a
+// technology-mapped standard-cell netlist behaves.
+func Lower(c *Circuit) error {
+	// Iterate until fixpoint: lowering can introduce cells that need
+	// another pass (e.g. XNOR → XOR+INV → NAND tree + INV).
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		// Snapshot: Lower appends to c.Cells while iterating.
+		n := len(c.Cells)
+		for i := 0; i < n; i++ {
+			cell := c.Cells[i]
+			if isLoweredPrimitive(cell) {
+				continue
+			}
+			if err := lowerCell(c, cell); err != nil {
+				return err
+			}
+			changed = true
+		}
+		if !changed {
+			return c.Validate()
+		}
+	}
+	return fmt.Errorf("netlist: Lower did not reach a fixpoint")
+}
+
+func isLoweredPrimitive(cell *Cell) bool {
+	switch cell.Kind {
+	case DFF, INV:
+		return true
+	case NAND, NOR:
+		return len(cell.In) <= 4
+	}
+	return false
+}
+
+// lowerCell rewrites one cell. The original cell object is mutated to
+// become the final stage driving its original output net, so net
+// drivers stay consistent; earlier stages are appended as new cells.
+func lowerCell(c *Circuit, cell *Cell) error {
+	mk := func(kind GateKind, ins []NetID) (NetID, error) {
+		out := c.freshNet(fmt.Sprintf("%s_lw", cell.Name))
+		name := fmt.Sprintf("%s_lw%d", cell.Name, len(c.Cells))
+		if _, err := c.AddCell(name, kind, ins, out); err != nil {
+			return 0, err
+		}
+		return out, nil
+	}
+	// retarget rewires cell to (kind, ins) keeping its output net.
+	retarget := func(kind GateKind, ins []NetID) {
+		// Remove old fanout entries of this cell.
+		for _, in := range cell.In {
+			net := c.Net(in)
+			keep := net.Fanout[:0]
+			for _, pr := range net.Fanout {
+				if pr.Cell != cell.ID {
+					keep = append(keep, pr)
+				}
+			}
+			net.Fanout = keep
+		}
+		cell.Kind = kind
+		cell.In = append([]NetID(nil), ins...)
+		for pin, in := range cell.In {
+			c.Net(in).Fanout = append(c.Net(in).Fanout, PinRef{Cell: cell.ID, Pin: pin})
+		}
+	}
+
+	switch cell.Kind {
+	case BUF, CLKBUF:
+		mid, err := mk(INV, []NetID{cell.In[0]})
+		if err != nil {
+			return err
+		}
+		if cell.Kind == CLKBUF {
+			c.Net(mid).IsClock = true
+		}
+		retarget(INV, []NetID{mid})
+	case AND:
+		mid, err := mk(NAND, cell.In)
+		if err != nil {
+			return err
+		}
+		retarget(INV, []NetID{mid})
+	case OR:
+		mid, err := mk(NOR, cell.In)
+		if err != nil {
+			return err
+		}
+		retarget(INV, []NetID{mid})
+	case XOR:
+		a, b := cell.In[0], cell.In[1]
+		n1, err := mk(NAND, []NetID{a, b})
+		if err != nil {
+			return err
+		}
+		n2, err := mk(NAND, []NetID{a, n1})
+		if err != nil {
+			return err
+		}
+		n3, err := mk(NAND, []NetID{b, n1})
+		if err != nil {
+			return err
+		}
+		retarget(NAND, []NetID{n2, n3})
+	case XNOR:
+		a, b := cell.In[0], cell.In[1]
+		n1, err := mk(NAND, []NetID{a, b})
+		if err != nil {
+			return err
+		}
+		n2, err := mk(NAND, []NetID{a, n1})
+		if err != nil {
+			return err
+		}
+		n3, err := mk(NAND, []NetID{b, n1})
+		if err != nil {
+			return err
+		}
+		x, err := mk(NAND, []NetID{n2, n3})
+		if err != nil {
+			return err
+		}
+		retarget(INV, []NetID{x})
+	case NAND, NOR:
+		// Wide gate: split into a tree. NAND(a..z) = NAND(AND(l), AND(r))
+		// where the AND halves lower recursively on the next pass.
+		if len(cell.In) <= 4 {
+			return nil
+		}
+		half := len(cell.In) / 2
+		l, err := mk(AND, cell.In[:half])
+		if err != nil {
+			return err
+		}
+		r, err := mk(AND, cell.In[half:])
+		if err != nil {
+			return err
+		}
+		if cell.Kind == NOR {
+			// NOR(a..z) = NOR(OR(l), OR(r))
+			// Replace the two AND helpers' kinds before they are wired
+			// anywhere else: they were just created as the last cells.
+			c.Cells[len(c.Cells)-2].Kind = OR
+			c.Cells[len(c.Cells)-1].Kind = OR
+		}
+		retarget(cell.Kind, []NetID{l, r})
+	default:
+		return fmt.Errorf("netlist: cannot lower cell %s of kind %s", cell.Name, cell.Kind)
+	}
+	return nil
+}
+
+// EquivalentOutputs checks that two circuits with identical PI sets
+// produce identical PO values for the given input assignment, treating
+// DFF outputs as additional inputs (set to false). Used to verify that
+// Lower preserves logic.
+func EquivalentOutputs(a, b *Circuit, inputs map[string]bool) (bool, error) {
+	va, err := evalCombinational(a, inputs)
+	if err != nil {
+		return false, err
+	}
+	vb, err := evalCombinational(b, inputs)
+	if err != nil {
+		return false, err
+	}
+	for _, po := range a.POs {
+		name := a.Net(po).Name
+		x, ok1 := va[name]
+		y, ok2 := vb[name]
+		if !ok1 || !ok2 || x != y {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func evalCombinational(c *Circuit, inputs map[string]bool) (map[string]bool, error) {
+	val := make(map[NetID]bool)
+	for _, id := range c.PIs {
+		val[id] = inputs[c.Net(id).Name]
+	}
+	for _, cell := range c.Cells {
+		if cell.Kind == DFF {
+			val[cell.Out] = false // reset state
+		}
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, cid := range order {
+		cell := c.Cell(cid)
+		in := make([]bool, len(cell.In))
+		for i, nid := range cell.In {
+			in[i] = val[nid]
+		}
+		v, err := cell.Kind.Eval(in)
+		if err != nil {
+			return nil, err
+		}
+		val[cell.Out] = v
+	}
+	out := make(map[string]bool)
+	for _, po := range c.POs {
+		out[c.Net(po).Name] = val[po]
+	}
+	return out, nil
+}

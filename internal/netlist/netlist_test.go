@@ -1,0 +1,393 @@
+package netlist
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseS27(t *testing.T) {
+	c := S27()
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PIs != 4 || st.POs != 1 {
+		t.Errorf("PIs/POs = %d/%d, want 4/1", st.PIs, st.POs)
+	}
+	if st.DFFs != 3 {
+		t.Errorf("DFFs = %d, want 3", st.DFFs)
+	}
+	if st.Cells != 13 {
+		t.Errorf("cells = %d, want 13 (10 gates + 3 DFFs)", st.Cells)
+	}
+	if st.ByKind[NOR] != 4 || st.ByKind[INV] != 2 || st.ByKind[AND] != 1 {
+		t.Errorf("gate mix wrong: %v", st.ByKind)
+	}
+	if st.LogicDepth < 2 {
+		t.Errorf("depth = %d, implausible", st.LogicDepth)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown gate":  "X = FROB(A)\nINPUT(A)\n",
+		"no assignment": "INPUT(A)\nGIBBERISH\n",
+		"bad parens":    "INPUT A)\n",
+		"empty input":   "INPUT(A)\nX = AND(A, )\n",
+		"double driver": "INPUT(A)\nX = NOT(A)\nX = NOT(A)\n",
+		"drive a PI":    "INPUT(A)\nA = NOT(A)\n",
+		"undriven used": "INPUT(A)\nOUTPUT(Y)\nY = AND(A, B)\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseBench("t", strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected parse/validate error", name)
+		}
+	}
+}
+
+func TestParseToleratesCommentsAndBlank(t *testing.T) {
+	src := "# hello\n\n  # indented comment\nINPUT(A)\nOUTPUT(Y)\nY = NOT(A)\n"
+	c, err := ParseBench("t", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Cells) != 1 {
+		t.Errorf("cells = %d", len(c.Cells))
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	// G17 uses G11 before G11 is defined — s27 has this; also test
+	// explicitly.
+	src := "INPUT(A)\nOUTPUT(Y)\nY = NOT(X)\nX = NOT(A)\n"
+	c, err := ParseBench("t", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 {
+		t.Errorf("order = %v", order)
+	}
+	// X's cell must come before Y's cell.
+	x, _ := c.NetByName("X")
+	y, _ := c.NetByName("Y")
+	posOf := func(cid CellID) int {
+		for i, o := range order {
+			if o == cid {
+				return i
+			}
+		}
+		return -1
+	}
+	if posOf(x.Driver) > posOf(y.Driver) {
+		t.Error("topological order violated")
+	}
+}
+
+func TestCombinationalLoopDetected(t *testing.T) {
+	src := "INPUT(A)\nOUTPUT(Y)\nY = NAND(A, Z)\nZ = NOT(Y)\n"
+	if _, err := ParseBench("t", strings.NewReader(src)); err == nil {
+		t.Error("expected combinational loop error")
+	}
+}
+
+func TestSequentialLoopAllowed(t *testing.T) {
+	// A loop through a DFF is fine (that is what sequential circuits are).
+	src := "INPUT(A)\nOUTPUT(Y)\nQ = DFF(Y)\nY = NAND(A, Q)\n"
+	c, err := ParseBench("t", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TopoOrder(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGateEval(t *testing.T) {
+	cases := []struct {
+		k    GateKind
+		in   []bool
+		want bool
+	}{
+		{INV, []bool{true}, false},
+		{BUF, []bool{true}, true},
+		{AND, []bool{true, true, false}, false},
+		{NAND, []bool{true, true}, false},
+		{NAND, []bool{true, false}, true},
+		{OR, []bool{false, false}, false},
+		{NOR, []bool{false, false}, true},
+		{XOR, []bool{true, false}, true},
+		{XOR, []bool{true, true}, false},
+		{XNOR, []bool{true, true}, true},
+		{DFF, []bool{true}, true},
+	}
+	for _, tc := range cases {
+		got, err := tc.k.Eval(tc.in)
+		if err != nil {
+			t.Errorf("%s: %v", tc.k, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s%v = %v, want %v", tc.k, tc.in, got, tc.want)
+		}
+	}
+	if _, err := NAND.Eval([]bool{true}); err == nil {
+		t.Error("NAND with one input must error")
+	}
+}
+
+func TestGateKindStringsRoundTrip(t *testing.T) {
+	for _, k := range []GateKind{INV, BUF, NAND, NOR, AND, OR, XOR, XNOR, DFF, CLKBUF} {
+		got, ok := ParseGateKind(k.String())
+		if !ok || got != k {
+			t.Errorf("round-trip %s failed: %v %v", k, got, ok)
+		}
+	}
+	if _, ok := ParseGateKind("NONSENSE"); ok {
+		t.Error("ParseGateKind accepted nonsense")
+	}
+}
+
+func TestLowerS27PreservesLogic(t *testing.T) {
+	orig := S27()
+	lowered := S27()
+	if err := Lower(lowered); err != nil {
+		t.Fatal(err)
+	}
+	// Every lowered cell must be a primitive.
+	for _, cell := range lowered.Cells {
+		if !isLoweredPrimitive(cell) {
+			t.Errorf("cell %s kind %s with %d inputs not a primitive", cell.Name, cell.Kind, len(cell.In))
+		}
+	}
+	f := func(a, b, c, d bool) bool {
+		in := map[string]bool{"G0": a, "G1": b, "G2": c, "G3": d}
+		eq, err := EquivalentOutputs(orig, lowered, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowerXORXNOR(t *testing.T) {
+	src := "INPUT(A)\nINPUT(B)\nOUTPUT(X)\nOUTPUT(Y)\nX = XOR(A, B)\nY = XNOR(A, B)\n"
+	orig, err := ParseBench("t", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := ParseBench("t", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Lower(low); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []bool{false, true} {
+		for _, b := range []bool{false, true} {
+			eq, err := EquivalentOutputs(orig, low, map[string]bool{"A": a, "B": b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eq {
+				t.Errorf("XOR/XNOR lowering wrong at A=%v B=%v", a, b)
+			}
+		}
+	}
+}
+
+func TestLowerWideGates(t *testing.T) {
+	src := "INPUT(A)\nINPUT(B)\nINPUT(C)\nINPUT(D)\nINPUT(E)\nINPUT(F)\nINPUT(G)\nOUTPUT(Y)\nOUTPUT(Z)\n" +
+		"Y = NAND(A, B, C, D, E, F, G)\nZ = NOR(A, B, C, D, E, F, G)\n"
+	orig, err := ParseBench("t", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := ParseBench("t", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Lower(low); err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range low.Cells {
+		if len(cell.In) > 4 {
+			t.Errorf("cell %s still has %d inputs", cell.Name, len(cell.In))
+		}
+	}
+	f := func(bits uint8) bool {
+		in := map[string]bool{}
+		for i, name := range []string{"A", "B", "C", "D", "E", "F", "G"} {
+			in[name] = bits&(1<<i) != 0
+		}
+		eq, err := EquivalentOutputs(orig, low, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	c := S27()
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseBench("s27rt", &buf)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, buf.String())
+	}
+	s1, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Cells != s2.Cells || s1.DFFs != s2.DFFs || s1.PIs != s2.PIs || s1.POs != s2.POs {
+		t.Errorf("round trip changed stats: %+v vs %+v", s1, s2)
+	}
+	// Logic must also match.
+	f := func(a, b, cc, d bool) bool {
+		in := map[string]bool{"G0": a, "G1": b, "G2": cc, "G3": d}
+		eq, err := EquivalentOutputs(c, c2, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddCellValidation(t *testing.T) {
+	c := New("t")
+	a := c.AddNet("a")
+	y := c.AddNet("y")
+	if _, err := c.AddCell("bad", INV, []NetID{a, a}, y); err == nil {
+		t.Error("INV with 2 inputs must error")
+	}
+	if _, err := c.AddCell("inv", INV, []NetID{a}, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddCell("dup", INV, []NetID{a}, y); err == nil {
+		t.Error("second driver must error")
+	}
+}
+
+func TestFanoutBookkeeping(t *testing.T) {
+	c := S27()
+	for _, n := range c.Nets {
+		for _, pr := range n.Fanout {
+			cell := c.Cell(pr.Cell)
+			if cell.In[pr.Pin] != n.ID {
+				t.Errorf("fanout entry %v of net %s does not point back", pr, n.Name)
+			}
+		}
+	}
+	// Every cell input appears in its net's fanout exactly once.
+	for _, cell := range c.Cells {
+		for pin, in := range cell.In {
+			count := 0
+			for _, pr := range c.Net(in).Fanout {
+				if pr.Cell == cell.ID && pr.Pin == pin {
+					count++
+				}
+			}
+			if count != 1 {
+				t.Errorf("cell %s pin %d appears %d times in fanout of %s", cell.Name, pin, count, c.Net(in).Name)
+			}
+		}
+	}
+}
+
+func TestLowerKeepsFanoutConsistent(t *testing.T) {
+	c := S27()
+	if err := Lower(c); err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range c.Cells {
+		for pin, in := range cell.In {
+			found := false
+			for _, pr := range c.Net(in).Fanout {
+				if pr.Cell == cell.ID && pr.Pin == pin {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("after Lower: cell %s pin %d missing from fanout of %s", cell.Name, pin, c.Net(in).Name)
+			}
+		}
+	}
+	for _, n := range c.Nets {
+		if n.Driver != NoCell && c.Cell(n.Driver).Out != n.ID {
+			t.Errorf("net %s driver inconsistent", n.Name)
+		}
+	}
+}
+
+func TestLaunchAndCapture(t *testing.T) {
+	c := S27()
+	launch := c.LaunchNets()
+	if len(launch) != 4+3 {
+		t.Errorf("launch nets = %d, want 7 (4 PI + 3 DFF Q)", len(launch))
+	}
+	capture := c.CaptureCells()
+	if len(capture) != 3 {
+		t.Errorf("capture cells = %d, want 3", len(capture))
+	}
+}
+
+func TestRing8Parses(t *testing.T) {
+	c := Ring8()
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DFFs != 1 || st.LogicDepth < 5 {
+		t.Errorf("ring8 stats: %+v", st)
+	}
+}
+
+func TestParasiticsTotalCoupling(t *testing.T) {
+	p := Parasitics{Couplings: []Coupling{{Other: 1, C: 1e-15}, {Other: 2, C: 2e-15}}}
+	if got := p.TotalCoupling(); math.Abs(got-3e-15) > 1e-21 {
+		t.Errorf("TotalCoupling = %v", got)
+	}
+}
+
+func TestNetByName(t *testing.T) {
+	c := S27()
+	n, ok := c.NetByName("G17")
+	if !ok || !n.IsPO {
+		t.Error("G17 lookup failed")
+	}
+	if _, ok := c.NetByName("NOPE"); ok {
+		t.Error("lookup of missing net succeeded")
+	}
+}
+
+func TestSortedNetNames(t *testing.T) {
+	c := New("t")
+	c.AddNet("b")
+	c.AddNet("a")
+	names := c.SortedNetNames()
+	if names[0] != "a" || names[1] != "b" {
+		t.Errorf("sorted names: %v", names)
+	}
+}

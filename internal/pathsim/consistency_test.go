@@ -1,0 +1,133 @@
+package pathsim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"xtalksta/internal/ccc"
+	"xtalksta/internal/core"
+	"xtalksta/internal/coupling"
+	"xtalksta/internal/delaycalc"
+	"xtalksta/internal/device"
+	"xtalksta/internal/netlist"
+	"xtalksta/internal/waveform"
+)
+
+// TestChainConsistencyWithDelayCalc cross-checks the two independent
+// timing engines: a 6-inverter chain with hand-set parasitics is timed
+// by (a) the per-arc delay calculator summed stage by stage and (b) the
+// full-path transistor-level simulation. They must agree within a few
+// percent — this is the reproduction's analogue of the paper's claim
+// that transistor-level STA tracks SPICE closely.
+func TestChainConsistencyWithDelayCalc(t *testing.T) {
+	const stages = 6
+	const cw = 40e-15
+	const rw = 30.0
+
+	c := netlist.New("chain")
+	in := c.AddNet("IN")
+	c.MarkPI(in)
+	prev := in
+	for i := 0; i < stages; i++ {
+		out := c.AddNet(fmt.Sprintf("N%d", i))
+		if _, err := c.AddCell(fmt.Sprintf("inv%d", i), netlist.INV, []netlist.NetID{prev}, out); err != nil {
+			t.Fatal(err)
+		}
+		prev = out
+	}
+	c.MarkPO(prev)
+	p := device.Generic05um()
+	siz := ccc.DefaultSizing(p)
+	// Parasitics: every net identical; Elmore to the single sink = R*C/2.
+	for i := 0; i < stages; i++ {
+		n, _ := c.NetByName(fmt.Sprintf("N%d", i))
+		par := netlist.Parasitics{CWire: cw, RWire: rw, SinkWireDelay: map[netlist.PinRef]float64{}}
+		for _, pr := range n.Fanout {
+			par.SinkWireDelay[pr] = rw * cw / 2
+		}
+		par.POWireDelay = rw * cw / 2
+		n.Par = par
+	}
+	c.Net(in).Par = netlist.Parasitics{CWire: 5e-15, SinkWireDelay: map[netlist.PinRef]float64{}}
+	for _, pr := range c.Net(in).Fanout {
+		c.Net(in).Par.SinkWireDelay[pr] = 0
+	}
+
+	lib := device.NewLibrary(p, 0)
+	m, err := coupling.NewModel(p.VDD, p.VthModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calc := delaycalc.New(lib, siz, m, delaycalc.Options{DisableCache: true})
+	eng, err := core.NewEngine(c, calc, core.Options{Mode: core.BestCase, POCap: 30e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	staDelay := res.LongestPath // PI (t=0) to PO
+
+	out, err := Simulate(c, lib, siz, res.Path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenDelay := out.QuietDelay
+
+	rel := math.Abs(staDelay-goldenDelay) / goldenDelay
+	if rel > 0.12 {
+		t.Errorf("engines disagree: STA %.4g ns vs golden %.4g ns (%.1f%%)",
+			staDelay*1e9, goldenDelay*1e9, rel*100)
+	}
+	t.Logf("STA %.4g ns, golden %.4g ns (Δ %.1f%%)", staDelay*1e9, goldenDelay*1e9, rel*100)
+	// STA should sit at or above the golden value (it is an upper bound
+	// built from conservative pieces: Elmore, side-input worst cases).
+	if staDelay < goldenDelay*0.97 {
+		t.Errorf("STA bound %.4g ns fell below the golden delay %.4g ns", staDelay*1e9, goldenDelay*1e9)
+	}
+}
+
+// TestChainDirectionsAlternate verifies the critical path of an
+// inverter chain alternates rise/fall, matching what pathsim assumes
+// when it assigns aggressor directions.
+func TestChainDirectionsAlternate(t *testing.T) {
+	c := netlist.New("c2")
+	in := c.AddNet("IN")
+	c.MarkPI(in)
+	a := c.AddNet("A")
+	b := c.AddNet("B")
+	if _, err := c.AddCell("i1", netlist.INV, []netlist.NetID{in}, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddCell("i2", netlist.INV, []netlist.NetID{a}, b); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkPO(b)
+	for _, name := range []string{"IN", "A", "B"} {
+		n, _ := c.NetByName(name)
+		n.Par = netlist.Parasitics{CWire: 10e-15, SinkWireDelay: map[netlist.PinRef]float64{}}
+	}
+	p := device.Generic05um()
+	lib := device.NewLibrary(p, 0)
+	m, _ := coupling.NewModel(p.VDD, p.VthModel)
+	calc := delaycalc.New(lib, ccc.DefaultSizing(p), m, delaycalc.Options{})
+	eng, err := core.NewEngine(c, calc, core.Options{Mode: core.BestCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Path) != 3 {
+		t.Fatalf("path length %d, want 3", len(res.Path))
+	}
+	for i := 1; i < len(res.Path); i++ {
+		if res.Path[i].Dir == res.Path[i-1].Dir {
+			t.Errorf("step %d does not alternate", i)
+		}
+	}
+	_ = waveform.Rising
+}

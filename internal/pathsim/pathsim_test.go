@@ -1,0 +1,136 @@
+package pathsim
+
+import (
+	"math"
+	"testing"
+
+	"xtalksta/internal/ccc"
+	"xtalksta/internal/circuitgen"
+	"xtalksta/internal/core"
+	"xtalksta/internal/coupling"
+	"xtalksta/internal/delaycalc"
+	"xtalksta/internal/device"
+	"xtalksta/internal/layout"
+	"xtalksta/internal/netlist"
+)
+
+// prepare builds an extracted circuit and runs the iterative STA to get
+// a critical path.
+func prepare(t testing.TB, cells int, seed int64) (*netlist.Circuit, *device.Library, ccc.Sizing, *core.Result, *core.Result) {
+	t.Helper()
+	c, err := circuitgen.Generate(circuitgen.Params{
+		Seed: seed, Cells: cells, DFFs: cells / 10, PIs: 6, POs: 6, Depth: 9, ClockFanout: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netlist.Lower(c); err != nil {
+		t.Fatal(err)
+	}
+	p := device.Generic05um()
+	siz := ccc.DefaultSizing(p)
+	l, err := layout.Build(c, layout.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Extract(p, ccc.PinCapFunc(c, p, siz), 30e-15); err != nil {
+		t.Fatal(err)
+	}
+	lib := device.NewLibrary(p, 0)
+	m, err := coupling.NewModel(p.VDD, p.VthModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calc := delaycalc.New(lib, siz, m, delaycalc.Options{})
+	run := func(mode core.Mode) *core.Result {
+		eng, err := core.NewEngine(c, calc, core.Options{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	return c, lib, siz, run(core.Iterative), run(core.WorstCase)
+}
+
+func TestGoldenPathSimulation(t *testing.T) {
+	c, lib, siz, iter, worst := prepare(t, 160, 201)
+	out, err := Simulate(c, lib, siz, iter.Path, Config{
+		MaxOptimizedAggressors: 3, Candidates: 3, Rounds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Delay <= 0 {
+		t.Fatalf("golden delay %v", out.Delay)
+	}
+	if out.QuietDelay <= 0 || out.QuietDelay > out.Delay+1e-12 {
+		t.Errorf("quiet delay %v must not exceed aligned delay %v", out.QuietDelay, out.Delay)
+	}
+	if out.Sims < 2 {
+		t.Errorf("too few simulations: %d", out.Sims)
+	}
+	if out.Stages != len(iter.Path)-1 {
+		t.Errorf("stages = %d, want %d", out.Stages, len(iter.Path)-1)
+	}
+	// The paper's soundness claim: the STA bound must hold against the
+	// golden simulation of the same path. Allow a small numerical
+	// margin.
+	staPathDelay := iter.Path[len(iter.Path)-1].Arrival - iter.Path[0].Arrival
+	if out.Delay > staPathDelay*1.10 {
+		t.Errorf("golden delay %v exceeds the iterative STA bound %v by >10%%", out.Delay, staPathDelay)
+	}
+	// Worst-case STA must also bound it (it assumes permanent coupling).
+	worstPathDelay := worst.LongestPath
+	if out.Delay > worstPathDelay*1.10 {
+		t.Errorf("golden delay %v exceeds even the worst-case STA %v", out.Delay, worstPathDelay)
+	}
+	t.Logf("golden: quiet=%.3gns aligned=%.3gns | STA path (iterative)=%.3gns, %d aggressors, %d unknowns",
+		out.QuietDelay*1e9, out.Delay*1e9, staPathDelay*1e9, len(out.Aggressors), out.Unknowns)
+}
+
+func TestAlignmentIncreasesDelay(t *testing.T) {
+	c, lib, siz, iter, _ := prepare(t, 160, 202)
+	out, err := Simulate(c, lib, siz, iter.Path, Config{
+		MaxOptimizedAggressors: 4, Candidates: 5, Rounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Aggressors) == 0 {
+		t.Skip("critical path has no off-path aggressors on this seed")
+	}
+	if out.Delay < out.QuietDelay {
+		t.Errorf("aligned (%v) below quiet (%v)", out.Delay, out.QuietDelay)
+	}
+	anyOpt := false
+	for _, a := range out.Aggressors {
+		if a.Optimized {
+			anyOpt = true
+			if math.IsInf(a.SwitchTime, 0) {
+				t.Errorf("optimized aggressor %s has no switch time", a.Net)
+			}
+		}
+		if a.Cc <= 0 {
+			t.Errorf("aggressor %s with non-positive Cc", a.Net)
+		}
+	}
+	if !anyOpt {
+		t.Error("no aggressor was optimized")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	c, lib, siz, iter, _ := prepare(t, 120, 203)
+	if _, err := Simulate(c, lib, siz, iter.Path[:1], Config{}); err == nil {
+		t.Error("single-step path must error")
+	}
+	bad := append([]core.PathStep(nil), iter.Path...)
+	bad[1].Net = "NONEXISTENT"
+	if _, err := Simulate(c, lib, siz, bad, Config{}); err == nil {
+		t.Error("unknown net must error")
+	}
+}

@@ -1,0 +1,159 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// BandedLU factors matrices whose nonzeros lie within a fixed half
+// bandwidth around the diagonal, without pivoting. MNA matrices of
+// chain-structured circuits (the golden path simulations) are banded
+// when nodes are numbered along the chain, and the capacitive companion
+// conductances keep them strongly diagonal, so pivot-free elimination
+// is safe — Factor still reports ErrSingular on a collapsed pivot so
+// callers can fall back to the dense solver.
+type BandedLU struct {
+	n, k int // size and half bandwidth
+	// lu stores the band in row-major compact form: element (i, j) with
+	// |i-j| <= k lives at lu[i*(2k+1) + (j-i+k)].
+	lu   []float64
+	work []float64
+}
+
+// NewBandedLU allocates workspace for n×n systems with half bandwidth k
+// (nonzeros only where |i−j| ≤ k).
+func NewBandedLU(n, k int) *BandedLU {
+	if k >= n {
+		k = n - 1
+	}
+	return &BandedLU{n: n, k: k, lu: make([]float64, n*(2*k+1)), work: make([]float64, n)}
+}
+
+// HalfBandwidth returns k.
+func (f *BandedLU) HalfBandwidth() int { return f.k }
+
+func (f *BandedLU) at(i, j int) float64 {
+	return f.lu[i*(2*f.k+1)+(j-i+f.k)]
+}
+
+func (f *BandedLU) set(i, j int, v float64) {
+	f.lu[i*(2*f.k+1)+(j-i+f.k)] = v
+}
+
+// Factor computes the pivot-free LU factorization of the band of m.
+// Entries of m outside the band are ignored — the caller must guarantee
+// they are zero (CheckBandwidth verifies in tests).
+func (f *BandedLU) Factor(m *Matrix) error {
+	if m.N != f.n {
+		return fmt.Errorf("solver: banded LU size %d does not match matrix size %d", f.n, m.N)
+	}
+	n, k := f.n, f.k
+	// Load the band.
+	w := 2*k + 1
+	for i := 0; i < n; i++ {
+		base := i * w
+		for j := i - k; j <= i+k; j++ {
+			if j < 0 || j >= n {
+				f.lu[base+(j-i+k)] = 0
+				continue
+			}
+			f.lu[base+(j-i+k)] = m.At(i, j)
+		}
+	}
+	// Elimination restricted to the band.
+	for p := 0; p < n; p++ {
+		pivot := f.at(p, p)
+		if pivot == 0 || math.IsNaN(pivot) {
+			return ErrSingular
+		}
+		iMax := p + k
+		if iMax > n-1 {
+			iMax = n - 1
+		}
+		for i := p + 1; i <= iMax; i++ {
+			l := f.at(i, p) / pivot
+			f.set(i, p, l)
+			if l == 0 {
+				continue
+			}
+			jMax := p + k
+			if jMax > n-1 {
+				jMax = n - 1
+			}
+			for j := p + 1; j <= jMax; j++ {
+				f.set(i, j, f.at(i, j)-l*f.at(p, j))
+			}
+		}
+	}
+	return nil
+}
+
+// Solve computes x with A·x = b for the factored A. x and b may alias.
+func (f *BandedLU) Solve(b, x []float64) error {
+	n, k := f.n, f.k
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("solver: banded rhs size %d/%d does not match %d", len(b), len(x), n)
+	}
+	w := f.work
+	copy(w, b)
+	// Forward substitution.
+	for i := 1; i < n; i++ {
+		jMin := i - k
+		if jMin < 0 {
+			jMin = 0
+		}
+		s := w[i]
+		for j := jMin; j < i; j++ {
+			s -= f.at(i, j) * w[j]
+		}
+		w[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		jMax := i + k
+		if jMax > n-1 {
+			jMax = n - 1
+		}
+		s := w[i]
+		for j := i + 1; j <= jMax; j++ {
+			s -= f.at(i, j) * w[j]
+		}
+		piv := f.at(i, i)
+		if piv == 0 {
+			return ErrSingular
+		}
+		w[i] = s / piv
+	}
+	copy(x, w)
+	return nil
+}
+
+// CheckBandwidth returns the smallest half bandwidth containing all
+// nonzeros of m — a test helper for callers that promise bandedness.
+func CheckBandwidth(m *Matrix) int {
+	k := 0
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			if m.At(i, j) != 0 {
+				if d := i - j; d > k {
+					k = d
+				} else if d := j - i; d > k {
+					k = d
+				}
+			}
+		}
+	}
+	return k
+}
+
+// Linear abstracts the linear solver used inside Newton so circuit
+// engines can pick dense or banded factorization.
+type Linear interface {
+	Factor(m *Matrix) error
+	Solve(b, x []float64) error
+}
+
+var (
+	_ Linear = (*LU)(nil)
+	_ Linear = (*BandedLU)(nil)
+)

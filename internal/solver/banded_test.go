@@ -1,0 +1,172 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomBanded builds a diagonally dominant banded matrix.
+func randomBanded(rng *rand.Rand, n, k int) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for j := i - k; j <= i+k; j++ {
+			if j < 0 || j >= n || j == i {
+				continue
+			}
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			rowSum += math.Abs(v)
+		}
+		m.Set(i, i, rowSum+1+rng.Float64())
+	}
+	return m
+}
+
+func TestBandedMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct{ n, k int }{{5, 1}, {20, 3}, {64, 7}, {100, 1}} {
+		m := randomBanded(rng, tc.n, tc.k)
+		b := make([]float64, tc.n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want, err := SolveDense(m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := NewBandedLU(tc.n, tc.k)
+		if err := f.Factor(m); err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		got := make([]float64, tc.n)
+		if err := f.Solve(b, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d k=%d: x[%d] = %v, want %v", tc.n, tc.k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBandedSingular(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 0) // zero pivot, no pivoting available
+	m.Set(2, 2, 1)
+	f := NewBandedLU(3, 1)
+	if err := f.Factor(m); err == nil {
+		t.Error("zero pivot must report singular")
+	}
+}
+
+func TestBandedSizeMismatch(t *testing.T) {
+	f := NewBandedLU(4, 1)
+	if err := f.Factor(NewMatrix(3)); err == nil {
+		t.Error("size mismatch must error")
+	}
+	m := NewMatrix(4)
+	for i := 0; i < 4; i++ {
+		m.Set(i, i, 1)
+	}
+	if err := f.Factor(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Solve(make([]float64, 3), make([]float64, 4)); err == nil {
+		t.Error("rhs mismatch must error")
+	}
+}
+
+func TestBandedWideBandClamped(t *testing.T) {
+	// k >= n must not panic; clamps to n-1 (full matrix).
+	f := NewBandedLU(3, 10)
+	if f.HalfBandwidth() != 2 {
+		t.Errorf("bandwidth = %d, want clamped 2", f.HalfBandwidth())
+	}
+}
+
+func TestCheckBandwidth(t *testing.T) {
+	m := NewMatrix(5)
+	m.Set(0, 0, 1)
+	m.Set(4, 1, 2)
+	if got := CheckBandwidth(m); got != 3 {
+		t.Errorf("bandwidth = %d, want 3", got)
+	}
+}
+
+func TestQuickBandedRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		k := 1 + rng.Intn(5)
+		if k >= n {
+			k = n - 1
+		}
+		m := randomBanded(rng, n, k)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		fac := NewBandedLU(n, k)
+		if err := fac.Factor(m); err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		if err := fac.Solve(b, x); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += m.At(i, j) * x[j]
+			}
+			if math.Abs(s-b[i]) > 1e-7*(1+math.Abs(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBandedVsDense100(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	n, k := 100, 5
+	m := randomBanded(rng, n, k)
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.Run("banded", func(b *testing.B) {
+		f := NewBandedLU(n, k)
+		x := make([]float64, n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := f.Factor(m); err != nil {
+				b.Fatal(err)
+			}
+			if err := f.Solve(rhs, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		f := NewLU(n)
+		x := make([]float64, n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := f.Factor(m); err != nil {
+				b.Fatal(err)
+			}
+			if err := f.Solve(rhs, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,175 @@
+// Package solver provides the dense linear algebra and Newton–Raphson
+// machinery used by the transient circuit engine. The circuits solved
+// per timing arc are small (a handful of nodes), and even the golden
+// longest-path simulations stay in the hundreds of nodes, so a dense LU
+// factorization with partial pivoting is the right tool.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the system matrix is numerically
+// singular.
+var ErrSingular = errors.New("solver: singular matrix")
+
+// Matrix is a dense row-major square matrix.
+type Matrix struct {
+	N    int
+	Data []float64 // len N*N, row-major
+}
+
+// NewMatrix allocates an N×N zero matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Add accumulates into element (i, j). This is the MNA stamping
+// primitive.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.N+j] += v }
+
+// Zero clears the matrix in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			s += fmt.Sprintf("% .4e ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// LU holds an in-place LU factorization with partial pivoting.
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int
+	work []float64
+}
+
+// NewLU allocates factorization workspace for n×n systems. The same LU
+// can be reused across timesteps to avoid allocation in the Newton
+// loop.
+func NewLU(n int) *LU {
+	return &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), work: make([]float64, n)}
+}
+
+// Factor computes the LU factorization of m with partial pivoting. m is
+// not modified. Returns ErrSingular if a pivot is (numerically) zero.
+func (f *LU) Factor(m *Matrix) error {
+	if m.N != f.n {
+		return fmt.Errorf("solver: LU size %d does not match matrix size %d", f.n, m.N)
+	}
+	n := f.n
+	copy(f.lu, m.Data)
+	lu := f.lu
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Pivot search in column k.
+		p := k
+		maxAbs := math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu[i*n+k]); a > maxAbs {
+				maxAbs = a
+				p = i
+			}
+		}
+		if maxAbs == 0 || math.IsNaN(maxAbs) {
+			return ErrSingular
+		}
+		if p != k {
+			rowK := lu[k*n : k*n+n]
+			rowP := lu[p*n : p*n+n]
+			for j := 0; j < n; j++ {
+				rowK[j], rowP[j] = rowP[j], rowK[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := lu[i*n+k] / pivot
+			lu[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			rowI := lu[i*n : i*n+n]
+			rowK := lu[k*n : k*n+n]
+			for j := k + 1; j < n; j++ {
+				rowI[j] -= l * rowK[j]
+			}
+		}
+	}
+	return nil
+}
+
+// Solve computes x such that A·x = b for the factored A, writing the
+// result into x. b is not modified; x and b may alias.
+func (f *LU) Solve(b, x []float64) error {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("solver: rhs size %d/%d does not match system size %d", len(b), len(x), n)
+	}
+	w := f.work
+	for i := 0; i < n; i++ {
+		w[i] = b[f.piv[i]]
+	}
+	lu := f.lu
+	// Forward substitution (L has implicit unit diagonal).
+	for i := 1; i < n; i++ {
+		s := w[i]
+		row := lu[i*n : i*n+n]
+		for j := 0; j < i; j++ {
+			s -= row[j] * w[j]
+		}
+		w[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := w[i]
+		row := lu[i*n : i*n+n]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * w[j]
+		}
+		w[i] = s / row[i]
+	}
+	copy(x, w)
+	return nil
+}
+
+// SolveDense is a convenience one-shot solve of A·x = b.
+func SolveDense(a *Matrix, b []float64) ([]float64, error) {
+	f := NewLU(a.N)
+	if err := f.Factor(a); err != nil {
+		return nil, err
+	}
+	x := make([]float64, a.N)
+	if err := f.Solve(b, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}

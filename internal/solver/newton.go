@@ -1,0 +1,190 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is returned when the Newton iteration fails to
+// converge within the configured iteration budget.
+var ErrNoConvergence = errors.New("solver: Newton iteration did not converge")
+
+// System describes a nonlinear system F(x) = 0 via its residual and
+// Jacobian. Implementations fill the provided matrix and residual
+// vector in place; both are pre-zeroed by the driver.
+type System interface {
+	// Eval writes the Jacobian dF/dx into jac and the residual F(x)
+	// into res for the current point x.
+	Eval(x []float64, jac *Matrix, res []float64)
+}
+
+// NewtonOptions tunes the Newton–Raphson driver.
+type NewtonOptions struct {
+	// MaxIter bounds the number of iterations (default 60).
+	MaxIter int
+	// TolX is the convergence tolerance on the update norm in volts
+	// (default 1 µV).
+	TolX float64
+	// TolF accepts a point whose residual norm is below this even when
+	// the update norm is still large — the cure for Newton "chattering"
+	// between adjacent cells of a piecewise-bilinear table model
+	// (default 1e-9, i.e. 1 nA for KCL residuals).
+	TolF float64
+	// AcceptF is the last-resort acceptance: when the iteration budget
+	// is exhausted but the residual norm sits below AcceptF, the point
+	// is accepted rather than reported as non-convergence (default
+	// 100×TolF). For KCL residuals even 1 µA over a picosecond step
+	// moves a ~100 fF node by ~10 µV — far below any threshold of
+	// interest — so a bounded limit cycle at that amplitude is
+	// harmless.
+	AcceptF float64
+	// MaxStep limits the per-iteration update magnitude per unknown
+	// (voltage limiting / damping; default 0.5 V). Zero disables.
+	MaxStep float64
+	// Linear overrides the linear solver (default: dense LU with
+	// partial pivoting). When a non-dense solver reports a singular
+	// pivot, Newton retries the step with the dense fallback.
+	Linear Linear
+}
+
+func (o NewtonOptions) withDefaults() NewtonOptions {
+	if o.MaxIter == 0 {
+		o.MaxIter = 60
+	}
+	if o.TolX == 0 {
+		o.TolX = 1e-6
+	}
+	if o.TolF == 0 {
+		o.TolF = 1e-9
+	}
+	if o.AcceptF == 0 {
+		o.AcceptF = 100 * o.TolF
+	}
+	return o
+}
+
+// Newton solves F(x) = 0 in place starting from x. It reuses the given
+// workspace (allocated once per transient run) and applies simple
+// voltage limiting, which is what makes plain Newton robust on the
+// fine-grained table models (paper §3).
+type Newton struct {
+	opts     NewtonOptions
+	jac      *Matrix
+	res      []float64
+	dx       []float64
+	lin      Linear
+	fallback *LU
+}
+
+// NewNewton allocates a Newton driver for n unknowns.
+func NewNewton(n int, opts NewtonOptions) *Newton {
+	opts = opts.withDefaults()
+	nw := &Newton{
+		opts: opts,
+		jac:  NewMatrix(n),
+		res:  make([]float64, n),
+		dx:   make([]float64, n),
+	}
+	if opts.Linear != nil {
+		nw.lin = opts.Linear
+	} else {
+		nw.lin = NewLU(n)
+	}
+	return nw
+}
+
+// Solve iterates x ← x − J⁻¹·F(x) until the update norm falls below
+// TolX. It returns the number of iterations used.
+func (nw *Newton) Solve(sys System, x []float64) (int, error) {
+	n := nw.jac.N
+	if len(x) != n {
+		return 0, fmt.Errorf("solver: state size %d does not match system size %d", len(x), n)
+	}
+	for iter := 1; iter <= nw.opts.MaxIter; iter++ {
+		nw.jac.Zero()
+		for i := range nw.res {
+			nw.res[i] = 0
+		}
+		sys.Eval(x, nw.jac, nw.res)
+		resNorm := 0.0
+		for _, r := range nw.res {
+			if a := math.Abs(r); a > resNorm {
+				resNorm = a
+			}
+		}
+		if iter > 1 && resNorm < nw.opts.TolF {
+			return iter, nil
+		}
+		lin := nw.lin
+		if err := lin.Factor(nw.jac); err != nil {
+			// A pivot-free banded solver can fail where pivoted dense
+			// succeeds; fall back once per solve.
+			if _, isDense := lin.(*LU); isDense {
+				return iter, fmt.Errorf("solver: Newton Jacobian at iter %d: %w", iter, err)
+			}
+			if nw.fallback == nil {
+				nw.fallback = NewLU(n)
+			}
+			lin = nw.fallback
+			if err := lin.Factor(nw.jac); err != nil {
+				return iter, fmt.Errorf("solver: Newton Jacobian at iter %d: %w", iter, err)
+			}
+		}
+		if err := lin.Solve(nw.res, nw.dx); err != nil {
+			return iter, err
+		}
+		// Progressive damping: the piecewise-bilinear table models have
+		// derivative jumps at cell boundaries that can trap undamped
+		// Newton in a two-cycle. Shrinking the step after the first
+		// rounds of iterations breaks the cycle (the residual itself is
+		// continuous, so a damped iteration still descends).
+		damp := 1.0
+		switch {
+		case iter > 3*nw.opts.MaxIter/4:
+			damp = 0.125
+		case iter > nw.opts.MaxIter/2:
+			damp = 0.25
+		case iter > nw.opts.MaxIter/4:
+			damp = 0.5
+		}
+		maxDx := 0.0
+		for i := range x {
+			d := nw.dx[i] * damp
+			if nw.opts.MaxStep > 0 {
+				if d > nw.opts.MaxStep {
+					d = nw.opts.MaxStep
+				} else if d < -nw.opts.MaxStep {
+					d = -nw.opts.MaxStep
+				}
+			}
+			x[i] -= d
+			if a := math.Abs(d); a > maxDx {
+				maxDx = a
+			}
+		}
+		if math.IsNaN(maxDx) {
+			return iter, fmt.Errorf("solver: Newton update became NaN at iter %d", iter)
+		}
+		if maxDx < nw.opts.TolX {
+			return iter, nil
+		}
+	}
+	// Iteration budget exhausted: accept a bounded limit cycle whose
+	// residual is still negligible for the caller's physics.
+	for i := range nw.res {
+		nw.res[i] = 0
+	}
+	nw.jac.Zero()
+	sys.Eval(x, nw.jac, nw.res)
+	resNorm := 0.0
+	for _, r := range nw.res {
+		if a := math.Abs(r); a > resNorm {
+			resNorm = a
+		}
+	}
+	if resNorm < nw.opts.AcceptF {
+		return nw.opts.MaxIter, nil
+	}
+	return nw.opts.MaxIter, ErrNoConvergence
+}

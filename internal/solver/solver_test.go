@@ -1,0 +1,268 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolveIdentity(t *testing.T) {
+	n := 4
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	b := []float64{1, 2, 3, 4}
+	x, err := SolveDense(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if math.Abs(x[i]-b[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], b[i])
+		}
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3
+	m := NewMatrix(2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 3)
+	x, err := SolveDense(m, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("got %v, want [1 3]", x)
+	}
+}
+
+func TestLUNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	m := NewMatrix(2)
+	m.Set(0, 0, 0)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 0)
+	x, err := SolveDense(m, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("got %v, want [3 2]", x)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 4)
+	if _, err := SolveDense(m, []float64{1, 2}); err == nil {
+		t.Error("expected singular matrix error")
+	}
+}
+
+func TestLUSizeMismatch(t *testing.T) {
+	f := NewLU(3)
+	if err := f.Factor(NewMatrix(2)); err == nil {
+		t.Error("expected size mismatch error")
+	}
+	m := NewMatrix(3)
+	for i := 0; i < 3; i++ {
+		m.Set(i, i, 1)
+	}
+	if err := f.Factor(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Solve([]float64{1, 2}, make([]float64, 3)); err == nil {
+		t.Error("expected rhs size mismatch error")
+	}
+}
+
+// Property: for random diagonally-dominant systems, A·x == b after
+// solving (residual small).
+func TestQuickLURandomSystems(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		m := NewMatrix(n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				v := rng.NormFloat64()
+				m.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			m.Set(i, i, rowSum+1+rng.Float64()) // diagonally dominant
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64() * 10
+		}
+		x, err := SolveDense(m, b)
+		if err != nil {
+			return false
+		}
+		// Check residual.
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += m.At(i, j) * x[j]
+			}
+			if math.Abs(s-b[i]) > 1e-8*(1+math.Abs(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUReuseAcrossSolves(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 4)
+	m.Set(1, 1, 2)
+	f := NewLU(2)
+	if err := f.Factor(m); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	if err := f.Solve([]float64{4, 4}, x); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 1 || x[1] != 2 {
+		t.Errorf("first solve got %v", x)
+	}
+	if err := f.Solve([]float64{8, 2}, x); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 2 || x[1] != 1 {
+		t.Errorf("second solve got %v", x)
+	}
+}
+
+// quadSys is F(x) = x² - a = 0 in 1D: Newton must find sqrt(a).
+type quadSys struct{ a float64 }
+
+func (s quadSys) Eval(x []float64, jac *Matrix, res []float64) {
+	res[0] = x[0]*x[0] - s.a
+	jac.Set(0, 0, 2*x[0])
+}
+
+func TestNewtonSqrt(t *testing.T) {
+	nw := NewNewton(1, NewtonOptions{})
+	x := []float64{1}
+	iters, err := nw.Solve(quadSys{a: 2}, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-math.Sqrt2) > 1e-6 {
+		t.Errorf("got %v after %d iters, want sqrt(2)", x[0], iters)
+	}
+}
+
+// coupled 2D system: x+y=3, x*y=2 (roots {1,2}).
+type coupledSys struct{}
+
+func (coupledSys) Eval(x []float64, jac *Matrix, res []float64) {
+	res[0] = x[0] + x[1] - 3
+	res[1] = x[0]*x[1] - 2
+	jac.Set(0, 0, 1)
+	jac.Set(0, 1, 1)
+	jac.Set(1, 0, x[1])
+	jac.Set(1, 1, x[0])
+}
+
+func TestNewton2D(t *testing.T) {
+	nw := NewNewton(2, NewtonOptions{})
+	x := []float64{0.5, 2.5}
+	if _, err := nw.Solve(coupledSys{}, x); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]*x[1]-2) > 1e-6 || math.Abs(x[0]+x[1]-3) > 1e-6 {
+		t.Errorf("got %v", x)
+	}
+}
+
+// stiffSys has a huge initial residual; voltage limiting must keep the
+// iteration stable.
+type stiffSys struct{}
+
+func (stiffSys) Eval(x []float64, jac *Matrix, res []float64) {
+	// tanh-like saturating nonlinearity with steep slope at origin.
+	res[0] = 1000*math.Tanh(x[0]) - 500
+	jac.Set(0, 0, 1000*(1-math.Tanh(x[0])*math.Tanh(x[0]))+1e-9)
+}
+
+func TestNewtonDamping(t *testing.T) {
+	nw := NewNewton(1, NewtonOptions{MaxStep: 0.5, MaxIter: 200})
+	x := []float64{5}
+	if _, err := nw.Solve(stiffSys{}, x); err != nil {
+		t.Fatal(err)
+	}
+	want := math.Atanh(0.5)
+	if math.Abs(x[0]-want) > 1e-5 {
+		t.Errorf("got %v, want %v", x[0], want)
+	}
+}
+
+type divergeSys struct{}
+
+func (divergeSys) Eval(x []float64, jac *Matrix, res []float64) {
+	res[0] = 1 // constant nonzero residual, zero gradient -> no solution
+	jac.Set(0, 0, 1e-30)
+}
+
+func TestNewtonReportsNonConvergence(t *testing.T) {
+	nw := NewNewton(1, NewtonOptions{MaxIter: 5, MaxStep: 0.1})
+	x := []float64{0}
+	if _, err := nw.Solve(divergeSys{}, x); err == nil {
+		t.Error("expected non-convergence error")
+	}
+}
+
+func TestNewtonStateSizeMismatch(t *testing.T) {
+	nw := NewNewton(2, NewtonOptions{})
+	if _, err := nw.Solve(coupledSys{}, []float64{1}); err == nil {
+		t.Error("expected state size mismatch error")
+	}
+}
+
+func BenchmarkLUFactorSolve8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 8
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+		m.Add(i, i, float64(n))
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	f := NewLU(n)
+	x := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Factor(m); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Solve(rhs, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

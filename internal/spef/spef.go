@@ -1,0 +1,205 @@
+// Package spef reads and writes the reproduction's parasitic exchange
+// format — a simplified SPEF dialect carrying exactly the annotation
+// the crosstalk analyses need: per net, the grounded wire capacitance,
+// the wire resistance, the Elmore delay to every sink pin, and the
+// coupling capacitances to named adjacent nets.
+//
+// Sink cells are identified by their output net (the `.bench` format
+// has no instance names, and output nets are unique per cell, so this
+// key survives a netlist round trip). Grammar (line oriented,
+// # comments):
+//
+//	*SPEF xtalksta-1
+//	*DESIGN <name>
+//	*D_NET <net> <cwire_fF> <rwire_ohm>
+//	*PIN <sink-cell-output-net> <pin> <elmore_ps>
+//	*PO <elmore_ps>
+//	*CC <other-net> <cc_fF>
+//	*END
+//
+// Units are fixed (fF, Ω, ps) to keep files human-readable at circuit
+// scale.
+package spef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xtalksta/internal/netlist"
+)
+
+// Write emits the circuit's parasitics.
+func Write(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "*SPEF xtalksta-1\n*DESIGN %s\n", c.Name)
+	for _, n := range c.Nets {
+		if n.Par.CWire == 0 && n.Par.RWire == 0 && len(n.Par.Couplings) == 0 &&
+			len(n.Par.SinkWireDelay) == 0 && n.Par.POWireDelay == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "*D_NET %s %.6g %.6g\n", n.Name, n.Par.CWire*1e15, n.Par.RWire)
+		// Deterministic pin order.
+		pins := make([]netlist.PinRef, 0, len(n.Par.SinkWireDelay))
+		for pr := range n.Par.SinkWireDelay {
+			pins = append(pins, pr)
+		}
+		sort.Slice(pins, func(i, j int) bool {
+			if pins[i].Cell != pins[j].Cell {
+				return pins[i].Cell < pins[j].Cell
+			}
+			return pins[i].Pin < pins[j].Pin
+		})
+		for _, pr := range pins {
+			fmt.Fprintf(bw, "*PIN %s %d %.6g\n", c.Net(c.Cell(pr.Cell).Out).Name, pr.Pin, n.Par.SinkWireDelay[pr]*1e12)
+		}
+		if n.IsPO && n.Par.POWireDelay != 0 {
+			fmt.Fprintf(bw, "*PO %.6g\n", n.Par.POWireDelay*1e12)
+		}
+		for _, cp := range n.Par.Couplings {
+			fmt.Fprintf(bw, "*CC %s %.6g\n", c.Net(cp.Other).Name, cp.C*1e15)
+		}
+		fmt.Fprintf(bw, "*END\n")
+	}
+	return bw.Flush()
+}
+
+// Read annotates an existing circuit from a parasitics file. Net names
+// must resolve in the circuit; cell names in *PIN lines likewise.
+// Couplings are validated for symmetry after loading.
+func Read(r io.Reader, c *netlist.Circuit) error {
+	// Cells are keyed by their (unique) output net name.
+	cellByOutNet := make(map[string]netlist.CellID, len(c.Cells))
+	for _, cell := range c.Cells {
+		cellByOutNet[c.Net(cell.Out).Name] = cell.ID
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur *netlist.Net
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "*SPEF":
+			sawHeader = true
+		case "*DESIGN":
+			// informational
+		case "*D_NET":
+			if len(fields) != 4 {
+				return fmt.Errorf("spef: line %d: *D_NET wants <net> <cwire> <rwire>", lineNo)
+			}
+			n, ok := c.NetByName(fields[1])
+			if !ok {
+				return fmt.Errorf("spef: line %d: unknown net %q", lineNo, fields[1])
+			}
+			cw, err1 := strconv.ParseFloat(fields[2], 64)
+			rw, err2 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("spef: line %d: bad numbers", lineNo)
+			}
+			n.Par = netlist.Parasitics{
+				CWire:         cw * 1e-15,
+				RWire:         rw,
+				SinkWireDelay: make(map[netlist.PinRef]float64),
+			}
+			cur = n
+		case "*PIN":
+			if cur == nil {
+				return fmt.Errorf("spef: line %d: *PIN outside *D_NET", lineNo)
+			}
+			if len(fields) != 4 {
+				return fmt.Errorf("spef: line %d: *PIN wants <cell> <pin> <elmore_ps>", lineNo)
+			}
+			cid, ok := cellByOutNet[fields[1]]
+			if !ok {
+				return fmt.Errorf("spef: line %d: no cell drives net %q", lineNo, fields[1])
+			}
+			pin, err1 := strconv.Atoi(fields[2])
+			d, err2 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("spef: line %d: bad numbers", lineNo)
+			}
+			cur.Par.SinkWireDelay[netlist.PinRef{Cell: cid, Pin: pin}] = d * 1e-12
+		case "*PO":
+			if cur == nil {
+				return fmt.Errorf("spef: line %d: *PO outside *D_NET", lineNo)
+			}
+			d, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return fmt.Errorf("spef: line %d: bad number", lineNo)
+			}
+			cur.Par.POWireDelay = d * 1e-12
+		case "*CC":
+			if cur == nil {
+				return fmt.Errorf("spef: line %d: *CC outside *D_NET", lineNo)
+			}
+			if len(fields) != 3 {
+				return fmt.Errorf("spef: line %d: *CC wants <net> <cc_fF>", lineNo)
+			}
+			other, ok := c.NetByName(fields[1])
+			if !ok {
+				return fmt.Errorf("spef: line %d: unknown coupled net %q", lineNo, fields[1])
+			}
+			cc, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return fmt.Errorf("spef: line %d: bad number", lineNo)
+			}
+			cur.Par.Couplings = append(cur.Par.Couplings, netlist.Coupling{Other: other.ID, C: cc * 1e-15})
+		case "*END":
+			cur = nil
+		default:
+			return fmt.Errorf("spef: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("spef: %w", err)
+	}
+	if !sawHeader {
+		return fmt.Errorf("spef: missing *SPEF header")
+	}
+	return ValidateSymmetry(c)
+}
+
+// ValidateSymmetry checks that every coupling has a matching reverse
+// entry of equal value — the invariant the extractor guarantees and the
+// analyses assume.
+func ValidateSymmetry(c *netlist.Circuit) error {
+	for _, n := range c.Nets {
+		for _, cp := range n.Par.Couplings {
+			other := c.Net(cp.Other)
+			found := false
+			for _, back := range other.Par.Couplings {
+				if back.Other == n.ID && nearly(back.C, cp.C) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("spef: coupling %s→%s (%g F) has no symmetric partner",
+					n.Name, other.Name, cp.C)
+			}
+		}
+	}
+	return nil
+}
+
+func nearly(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return d <= 1e-9*m+1e-24
+}

@@ -1,0 +1,171 @@
+// Package spice implements a small SPICE-class transient circuit
+// simulator: modified nodal analysis with stamps for resistors,
+// (floating) capacitors, piecewise-linear voltage sources and
+// table-model MOSFETs, integrated with Backward-Euler or trapezoidal
+// companion models and a damped Newton iteration per timestep.
+//
+// It plays two roles in the reproduction:
+//
+//   - It is the transistor-level waveform engine of the STA itself
+//     (paper §3): every timing arc is a tiny circuit — the driving
+//     gate's transistor network plus the lumped load — solved with
+//     Newton on table models.
+//   - It is the substitute for the SPICE runs the paper validates
+//     against (§6): the extracted longest path with coupling
+//     capacitances and iteratively aligned PWL aggressor sources.
+package spice
+
+import (
+	"fmt"
+
+	"xtalksta/internal/device"
+)
+
+// NodeID identifies a circuit node. Ground is node 0; all other nodes
+// are created through Circuit.Node and number from 1.
+type NodeID int
+
+// Ground is the reference node.
+const Ground NodeID = 0
+
+// Circuit is a flat netlist under construction.
+type Circuit struct {
+	nodeNames []string // index = NodeID; [0] = "0"
+	nodeIndex map[string]NodeID
+
+	resistors  []resistor
+	capacitors []capacitor
+	vsources   []vsource
+	mosfets    []mosfet
+
+	// driven maps nodes whose potential is prescribed by a source and
+	// therefore excluded from the unknown vector (ideal rails, stage
+	// inputs, aggressor drivers). This keeps chain circuits banded and
+	// small.
+	driven map[NodeID]Source
+}
+
+type resistor struct {
+	name string
+	a, b NodeID
+	g    float64 // conductance
+}
+
+type capacitor struct {
+	name string
+	a, b NodeID
+	c    float64
+}
+
+type vsource struct {
+	name     string
+	pos, neg NodeID
+	src      Source
+}
+
+type mosfet struct {
+	name    string
+	d, g, s NodeID
+	model   *device.TableModel
+}
+
+// NewCircuit returns an empty circuit.
+func NewCircuit() *Circuit {
+	return &Circuit{
+		nodeNames: []string{"0"},
+		nodeIndex: map[string]NodeID{"0": Ground, "gnd": Ground, "GND": Ground},
+		driven:    make(map[NodeID]Source),
+	}
+}
+
+// DriveNode creates (or fetches) a node whose potential is prescribed
+// by src. Driven nodes carry no unknown: they behave like a
+// time-varying ground, which is both faster and — for chain circuits —
+// keeps the system matrix banded. An ideal voltage source to ground is
+// equivalent but adds two unknowns.
+func (c *Circuit) DriveNode(name string, src Source) (NodeID, error) {
+	id := c.Node(name)
+	if id == Ground {
+		return 0, fmt.Errorf("spice: cannot drive the ground node")
+	}
+	if _, dup := c.driven[id]; dup {
+		return 0, fmt.Errorf("spice: node %s is already driven", name)
+	}
+	c.driven[id] = src
+	return id, nil
+}
+
+// Rail creates a constant-potential node (e.g. VDD).
+func (c *Circuit) Rail(name string, v float64) (NodeID, error) {
+	return c.DriveNode(name, DC(v))
+}
+
+// Driven reports whether the node's potential is prescribed.
+func (c *Circuit) Driven(id NodeID) bool {
+	_, ok := c.driven[id]
+	return ok
+}
+
+// Node returns the node with the given name, creating it on first use.
+// The names "0", "gnd" and "GND" refer to ground.
+func (c *Circuit) Node(name string) NodeID {
+	if id, ok := c.nodeIndex[name]; ok {
+		return id
+	}
+	id := NodeID(len(c.nodeNames))
+	c.nodeNames = append(c.nodeNames, name)
+	c.nodeIndex[name] = id
+	return id
+}
+
+// NodeName returns the name of a node.
+func (c *Circuit) NodeName(id NodeID) string {
+	if int(id) < len(c.nodeNames) {
+		return c.nodeNames[id]
+	}
+	return fmt.Sprintf("n%d", int(id))
+}
+
+// NumNodes returns the number of non-ground nodes.
+func (c *Circuit) NumNodes() int { return len(c.nodeNames) - 1 }
+
+// AddResistor adds a resistor between a and b. Non-positive resistance
+// is an error.
+func (c *Circuit) AddResistor(name string, a, b NodeID, r float64) error {
+	if r <= 0 {
+		return fmt.Errorf("spice: resistor %s: non-positive resistance %g", name, r)
+	}
+	c.resistors = append(c.resistors, resistor{name, a, b, 1 / r})
+	return nil
+}
+
+// AddCapacitor adds a capacitor between a and b. Floating capacitors
+// (neither terminal grounded) are fully supported — they are how
+// coupling capacitances enter the golden simulation. Negative
+// capacitance is an error; zero is silently dropped.
+func (c *Circuit) AddCapacitor(name string, a, b NodeID, cap float64) error {
+	if cap < 0 {
+		return fmt.Errorf("spice: capacitor %s: negative capacitance %g", name, cap)
+	}
+	if cap == 0 {
+		return nil
+	}
+	c.capacitors = append(c.capacitors, capacitor{name, a, b, cap})
+	return nil
+}
+
+// AddVSource adds an independent voltage source (pos − neg = src(t)).
+func (c *Circuit) AddVSource(name string, pos, neg NodeID, src Source) {
+	c.vsources = append(c.vsources, vsource{name, pos, neg, src})
+}
+
+// AddMOSFET adds a MOSFET with the given table model. The bulk terminal
+// is implicit (body effect neglected, standard for this model class).
+func (c *Circuit) AddMOSFET(name string, d, g, s NodeID, model *device.TableModel) {
+	c.mosfets = append(c.mosfets, mosfet{name, d, g, s, model})
+}
+
+// DeviceCounts reports the number of devices by kind, for reporting.
+func (c *Circuit) DeviceCounts() (r, cap, v, m int) {
+	return len(c.resistors), len(c.capacitors), len(c.vsources), len(c.mosfets)
+}

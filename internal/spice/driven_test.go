@@ -1,0 +1,190 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"xtalksta/internal/device"
+	"xtalksta/internal/waveform"
+)
+
+func TestDrivenNodeBasics(t *testing.T) {
+	c := NewCircuit()
+	vdd, err := c.Rail("vdd", 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Driven(vdd) {
+		t.Error("rail must be driven")
+	}
+	if _, err := c.Rail("vdd", 1.0); err == nil {
+		t.Error("double-driving a node must error")
+	}
+	if _, err := c.Rail("0", 1.0); err == nil {
+		t.Error("driving ground must error")
+	}
+}
+
+func TestRCWithDrivenSourceMatchesVSource(t *testing.T) {
+	run := func(useDriven bool) float64 {
+		c := NewCircuit()
+		var in NodeID
+		if useDriven {
+			var err error
+			in, err = c.DriveNode("in", DC(1.0))
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			in = c.Node("in")
+			c.AddVSource("vs", in, Ground, DC(1.0))
+		}
+		out := c.Node("out")
+		_ = c.AddResistor("r", in, out, 1e3)
+		_ = c.AddCapacitor("c", out, Ground, 1e-12)
+		res, err := c.Transient(TranOptions{TStop: 1e-9, DT: 5e-12, SkipDC: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := res.Trace(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Final()
+	}
+	a, b := run(true), run(false)
+	if math.Abs(a-b) > 1e-6 {
+		t.Errorf("driven-node result %v differs from vsource result %v", a, b)
+	}
+}
+
+func TestDrivenNodeTimeVarying(t *testing.T) {
+	// Capacitive divider driven by a ramped node: the floating victim
+	// follows Cc/(Cc+Cg).
+	c := NewCircuit()
+	agg, err := c.DriveNode("agg", RampSource{T0: 0.5e-9, TR: 0.1e-9, V0: 0, V1: 3.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vic := c.Node("vic")
+	_ = c.AddCapacitor("cc", agg, vic, 100e-15)
+	_ = c.AddCapacitor("cg", vic, Ground, 100e-15)
+	res, err := c.Transient(TranOptions{TStop: 2e-9, DT: 2e-12, SkipDC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := res.Trace(vic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Final()-1.65) > 0.05 {
+		t.Errorf("divider final %v, want ~1.65", tr.Final())
+	}
+}
+
+func TestEventOnDrivenNodeRejected(t *testing.T) {
+	c := NewCircuit()
+	in, err := c.DriveNode("in", DC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Node("out")
+	_ = c.AddResistor("r", in, out, 1e3)
+	_, err = c.Transient(TranOptions{
+		TStop: 1e-10, DT: 1e-12,
+		Events: []*Event{{Node: in, Threshold: 0.5, Dir: waveform.Rising}},
+	})
+	if err == nil {
+		t.Error("event on driven node must be rejected")
+	}
+}
+
+func TestBandedSolverSelectedOnChain(t *testing.T) {
+	// A long RC ladder driven at one end: bandwidth 1, many unknowns —
+	// the banded path must engage and match the dense result.
+	build := func() *Circuit {
+		c := NewCircuit()
+		in, err := c.DriveNode("in", DC(1.0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := in
+		for i := 0; i < 60; i++ {
+			n := c.Node(nodeName(i))
+			_ = c.AddResistor(nodeName(i)+"r", prev, n, 100)
+			_ = c.AddCapacitor(nodeName(i)+"c", n, Ground, 10e-15)
+			prev = n
+		}
+		return c
+	}
+	opts := TranOptions{TStop: 2e-9, DT: 2e-12, SkipDC: true}
+	c1 := build()
+	res1, err := c1.Transient(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Banded {
+		t.Error("banded solver not selected for a 60-node chain")
+	}
+	optsDense := opts
+	optsDense.ForceDense = true
+	c2 := build()
+	res2, err := c2.Transient(optsDense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Banded {
+		t.Error("ForceDense ignored")
+	}
+	end := c1.Node(nodeName(59))
+	t1, err := res1.Trace(end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := res2.Trace(end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t1.V {
+		if math.Abs(t1.V[i]-t2.V[i]) > 1e-6 {
+			t.Fatalf("banded and dense diverge at sample %d: %v vs %v", i, t1.V[i], t2.V[i])
+		}
+	}
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}
+
+func TestInverterWithRails(t *testing.T) {
+	// Transistor stage entirely on driven rails: single unknown.
+	p := device.Generic05um()
+	lib := device.NewLibrary(p, 0)
+	c := NewCircuit()
+	vdd, err := c.Rail("vdd", p.VDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := c.DriveNode("in", RampSource{T0: 0.1e-9, TR: 0.2e-9, V0: 0, V1: p.VDD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Node("out")
+	c.AddMOSFET("mp", out, in, vdd, lib.Model(device.PMOS, device.Geometry{W: 5e-6, L: p.Lmin}))
+	c.AddMOSFET("mn", out, in, Ground, lib.Model(device.NMOS, device.Geometry{W: 2e-6, L: p.Lmin}))
+	_ = c.AddCapacitor("cl", out, Ground, 30e-15)
+	res, err := c.Transient(TranOptions{
+		TStop: 3e-9, DT: 2e-12,
+		InitialV: map[NodeID]float64{out: p.VDD},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := res.Trace(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Settled(0, 0.05) {
+		t.Errorf("inverter on rails did not switch: final %v", tr.Final())
+	}
+}

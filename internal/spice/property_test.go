@@ -1,0 +1,100 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: any random RC ladder driven by a DC source settles to the
+// source value, and every node voltage stays within [0, Vsrc]
+// throughout the transient (passivity).
+func TestQuickRCLadderSettlesAndStaysPassive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCircuit()
+		vsrc := 1.0 + rng.Float64()*2
+		in, err := c.DriveNode("in", DC(vsrc))
+		if err != nil {
+			return false
+		}
+		n := 2 + rng.Intn(8)
+		prev := in
+		tauMax := 0.0
+		for i := 0; i < n; i++ {
+			node := c.Node(fmt.Sprintf("n%d", i))
+			r := 100 + rng.Float64()*2000
+			cap := (1 + rng.Float64()*20) * 1e-15
+			if err := c.AddResistor(fmt.Sprintf("r%d", i), prev, node, r); err != nil {
+				return false
+			}
+			if err := c.AddCapacitor(fmt.Sprintf("c%d", i), node, Ground, cap); err != nil {
+				return false
+			}
+			tauMax += r * cap
+			prev = node
+		}
+		tstop := 30 * tauMax * float64(n)
+		if tstop < 1e-10 {
+			tstop = 1e-10
+		}
+		res, err := c.Transient(TranOptions{TStop: tstop, DT: tstop / 600, SkipDC: true})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			tr, err := res.Trace(c.Node(fmt.Sprintf("n%d", i)))
+			if err != nil {
+				return false
+			}
+			lo, hi := tr.MinMax()
+			if lo < -1e-6 || hi > vsrc+1e-6 {
+				return false
+			}
+			if math.Abs(tr.Final()-vsrc) > 0.02*vsrc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a purely capacitive divider conserves charge — the final
+// victim voltage equals V·Cc/(Cc+Cg) for any cap split.
+func TestQuickCapacitiveDividerChargeConservation(t *testing.T) {
+	f := func(a, b uint16) bool {
+		cc := (1 + float64(a%500)) * 1e-15
+		cg := (1 + float64(b%500)) * 1e-15
+		c := NewCircuit()
+		agg, err := c.DriveNode("agg", RampSource{T0: 1e-10, TR: 1e-11, V0: 0, V1: 3.3})
+		if err != nil {
+			return false
+		}
+		vic := c.Node("vic")
+		if err := c.AddCapacitor("cc", agg, vic, cc); err != nil {
+			return false
+		}
+		if err := c.AddCapacitor("cg", vic, Ground, cg); err != nil {
+			return false
+		}
+		res, err := c.Transient(TranOptions{TStop: 5e-10, DT: 1e-12, SkipDC: true})
+		if err != nil {
+			return false
+		}
+		tr, err := res.Trace(vic)
+		if err != nil {
+			return false
+		}
+		want := 3.3 * cc / (cc + cg)
+		// Tolerance scales with the gmin discharge over the window.
+		return math.Abs(tr.Final()-want) < 0.02*3.3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

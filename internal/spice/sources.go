@@ -1,0 +1,86 @@
+package spice
+
+import (
+	"fmt"
+	"sort"
+
+	"xtalksta/internal/waveform"
+)
+
+// Source is a time-dependent voltage source value.
+type Source interface {
+	// V returns the source voltage at time t.
+	V(t float64) float64
+}
+
+// DC is a constant source.
+type DC float64
+
+// V implements Source.
+func (d DC) V(float64) float64 { return float64(d) }
+
+// PWL is a piecewise-linear source defined by (time, voltage) pairs
+// sorted by time; the value is held constant outside the defined range.
+type PWL struct {
+	pts []waveform.Point
+}
+
+// NewPWL builds a PWL source from the given points; they are sorted by
+// time. At least one point is required.
+func NewPWL(pts ...waveform.Point) (*PWL, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("spice: PWL source needs at least one point")
+	}
+	cp := make([]waveform.Point, len(pts))
+	copy(cp, pts)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].T < cp[j].T })
+	for i := 1; i < len(cp); i++ {
+		if cp[i].T == cp[i-1].T {
+			return nil, fmt.Errorf("spice: PWL source has duplicate time %g", cp[i].T)
+		}
+	}
+	return &PWL{pts: cp}, nil
+}
+
+// V implements Source by linear interpolation with boundary hold.
+func (p *PWL) V(t float64) float64 {
+	pts := p.pts
+	if t <= pts[0].T {
+		return pts[0].V
+	}
+	last := len(pts) - 1
+	if t >= pts[last].T {
+		return pts[last].V
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].T > t })
+	a, b := pts[i-1], pts[i]
+	f := (t - a.T) / (b.T - a.T)
+	return a.V + f*(b.V-a.V)
+}
+
+// WaveSource adapts a waveform.Waveform as a source.
+type WaveSource struct {
+	W *waveform.Waveform
+}
+
+// V implements Source.
+func (ws WaveSource) V(t float64) float64 { return ws.W.At(t) }
+
+// RampSource is a saturated ramp from V0 to V1 starting at T0 with
+// transition time TR.
+type RampSource struct {
+	T0, TR float64
+	V0, V1 float64
+}
+
+// V implements Source.
+func (r RampSource) V(t float64) float64 {
+	if t <= r.T0 {
+		return r.V0
+	}
+	if r.TR <= 0 || t >= r.T0+r.TR {
+		return r.V1
+	}
+	f := (t - r.T0) / r.TR
+	return r.V0 + f*(r.V1-r.V0)
+}

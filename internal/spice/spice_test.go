@@ -1,0 +1,426 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"xtalksta/internal/device"
+	"xtalksta/internal/waveform"
+)
+
+func TestNodeCreation(t *testing.T) {
+	c := NewCircuit()
+	a := c.Node("a")
+	b := c.Node("b")
+	if a == b || a == Ground || b == Ground {
+		t.Errorf("node ids: %v %v", a, b)
+	}
+	if c.Node("a") != a {
+		t.Error("Node must be idempotent")
+	}
+	if c.Node("gnd") != Ground || c.Node("0") != Ground {
+		t.Error("ground aliases broken")
+	}
+	if c.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d", c.NumNodes())
+	}
+	if c.NodeName(a) != "a" {
+		t.Errorf("NodeName = %q", c.NodeName(a))
+	}
+}
+
+func TestDeviceValidation(t *testing.T) {
+	c := NewCircuit()
+	a := c.Node("a")
+	if err := c.AddResistor("r1", a, Ground, -5); err == nil {
+		t.Error("negative resistance must error")
+	}
+	if err := c.AddCapacitor("c1", a, Ground, -1e-15); err == nil {
+		t.Error("negative capacitance must error")
+	}
+	if err := c.AddCapacitor("c0", a, Ground, 0); err != nil {
+		t.Error("zero capacitance should be dropped silently")
+	}
+	if _, _, _, m := c.DeviceCounts(); m != 0 {
+		t.Error("unexpected devices")
+	}
+}
+
+func TestDCVoltageDivider(t *testing.T) {
+	c := NewCircuit()
+	vdd := c.Node("vdd")
+	mid := c.Node("mid")
+	c.AddVSource("vs", vdd, Ground, DC(3.3))
+	if err := c.AddResistor("r1", vdd, mid, 1e3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddResistor("r2", mid, Ground, 2e3); err != nil {
+		t.Fatal(err)
+	}
+	op, err := c.OperatingPoint(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(op[mid]-2.2) > 1e-6 {
+		t.Errorf("divider mid = %v, want 2.2", op[mid])
+	}
+	if math.Abs(op[vdd]-3.3) > 1e-9 {
+		t.Errorf("vdd = %v", op[vdd])
+	}
+}
+
+// RC charging: v(t) = VDD (1 - exp(-t/RC)). Check against analytic.
+func TestRCCharging(t *testing.T) {
+	c := NewCircuit()
+	in := c.Node("in")
+	out := c.Node("out")
+	c.AddVSource("vs", in, Ground, DC(1.0))
+	r := 1e3
+	cap := 1e-12
+	if err := c.AddResistor("r", in, out, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddCapacitor("c", out, Ground, cap); err != nil {
+		t.Fatal(err)
+	}
+	tau := r * cap
+	res, err := c.Transient(TranOptions{
+		TStop:    5 * tau,
+		DT:       tau / 200,
+		SkipDC:   true, // start with the cap discharged
+		InitialV: map[NodeID]float64{in: 1.0},
+		Method:   Trapezoidal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trc, err := res.Trace(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mult := range []float64{0.5, 1, 2, 3} {
+		tt := mult * tau
+		want := 1 - math.Exp(-tt/tau)
+		got := trc.At(tt)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("v(%gτ) = %v, want %v", mult, got, want)
+		}
+	}
+	if !trc.Settled(1.0, 0.01) {
+		t.Errorf("final value %v, want ~1", trc.Final())
+	}
+}
+
+func TestBackwardEulerVsTrapAccuracy(t *testing.T) {
+	// Same RC circuit; trapezoidal must be closer to the analytic value
+	// than BE at a coarse step.
+	build := func() (*Circuit, NodeID) {
+		c := NewCircuit()
+		in := c.Node("in")
+		out := c.Node("out")
+		c.AddVSource("vs", in, Ground, DC(1.0))
+		_ = c.AddResistor("r", in, out, 1e3)
+		_ = c.AddCapacitor("c", out, Ground, 1e-12)
+		return c, out
+	}
+	tau := 1e-9
+	run := func(m Integrator) float64 {
+		c, out := build()
+		res, err := c.Transient(TranOptions{TStop: tau, DT: tau / 10, SkipDC: true, Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trc, _ := res.Trace(out)
+		return trc.Final()
+	}
+	want := 1 - math.Exp(-1.0)
+	errBE := math.Abs(run(BackwardEuler) - want)
+	errTR := math.Abs(run(Trapezoidal) - want)
+	if errTR >= errBE {
+		t.Errorf("trapezoidal error %v not better than BE error %v", errTR, errBE)
+	}
+}
+
+func TestPWLSource(t *testing.T) {
+	p, err := NewPWL(waveform.Point{T: 1e-9, V: 0}, waveform.Point{T: 2e-9, V: 3.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.V(0) != 0 || p.V(3e-9) != 3.3 {
+		t.Error("boundary hold broken")
+	}
+	if math.Abs(p.V(1.5e-9)-1.65) > 1e-12 {
+		t.Errorf("midpoint = %v", p.V(1.5e-9))
+	}
+	if _, err := NewPWL(); err == nil {
+		t.Error("empty PWL must error")
+	}
+	if _, err := NewPWL(waveform.Point{T: 1, V: 0}, waveform.Point{T: 1, V: 2}); err == nil {
+		t.Error("duplicate times must error")
+	}
+	// Unsorted input is sorted.
+	p2, err := NewPWL(waveform.Point{T: 2e-9, V: 3.3}, waveform.Point{T: 1e-9, V: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.V(0.5e-9) != 0 {
+		t.Error("sorting broken")
+	}
+}
+
+func TestRampSource(t *testing.T) {
+	r := RampSource{T0: 1e-9, TR: 2e-9, V0: 3.3, V1: 0}
+	if r.V(0) != 3.3 || r.V(5e-9) != 0 {
+		t.Error("ramp boundaries")
+	}
+	if math.Abs(r.V(2e-9)-1.65) > 1e-12 {
+		t.Errorf("ramp mid = %v", r.V(2e-9))
+	}
+}
+
+func newInverter(c *Circuit, lib *device.Library, in, out, vdd NodeID) {
+	p := lib.Proc
+	c.AddMOSFET("mp", out, in, vdd, lib.Model(device.PMOS, device.Geometry{W: 5e-6, L: p.Lmin}))
+	c.AddMOSFET("mn", out, in, Ground, lib.Model(device.NMOS, device.Geometry{W: 2e-6, L: p.Lmin}))
+}
+
+func TestInverterDC(t *testing.T) {
+	p := device.Generic05um()
+	lib := device.NewLibrary(p, 0)
+	c := NewCircuit()
+	vdd := c.Node("vdd")
+	in := c.Node("in")
+	out := c.Node("out")
+	c.AddVSource("vvdd", vdd, Ground, DC(p.VDD))
+	c.AddVSource("vin", in, Ground, DC(0))
+	newInverter(c, lib, in, out, vdd)
+	op, err := c.OperatingPoint(map[NodeID]float64{out: p.VDD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op[out] < p.VDD-0.05 {
+		t.Errorf("inverter(0) out = %v, want ~VDD", op[out])
+	}
+}
+
+func TestInverterTransient(t *testing.T) {
+	p := device.Generic05um()
+	lib := device.NewLibrary(p, 0)
+	c := NewCircuit()
+	vdd := c.Node("vdd")
+	in := c.Node("in")
+	out := c.Node("out")
+	c.AddVSource("vvdd", vdd, Ground, DC(p.VDD))
+	c.AddVSource("vin", in, Ground, RampSource{T0: 0.2e-9, TR: 0.2e-9, V0: 0, V1: p.VDD})
+	newInverter(c, lib, in, out, vdd)
+	if err := c.AddCapacitor("cl", out, Ground, 50e-15); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TranOptions{
+		TStop:    5e-9,
+		DT:       2e-12,
+		InitialV: map[NodeID]float64{out: p.VDD, vdd: p.VDD},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trc, err := res.Trace(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trc.Settled(0, 0.05) {
+		t.Fatalf("inverter output did not fall: final %v", trc.Final())
+	}
+	tc, ok := trc.FirstCrossing(p.VDD/2, waveform.Falling)
+	if !ok {
+		t.Fatal("no 50% crossing")
+	}
+	if tc < 0.2e-9 || tc > 2e-9 {
+		t.Errorf("inverter fall delay implausible: %v", tc)
+	}
+}
+
+// A floating coupling capacitor between an aggressor driven by a step
+// and a quiet victim held by a resistor must inject a glitch whose peak
+// approaches the capacitive-divider value when the holding resistance
+// is large.
+func TestFloatingCouplingCapGlitch(t *testing.T) {
+	c := NewCircuit()
+	agg := c.Node("agg")
+	vic := c.Node("vic")
+	c.AddVSource("va", agg, Ground, RampSource{T0: 1e-9, TR: 10e-12, V0: 0, V1: 3.3})
+	cc := 100e-15
+	cg := 100e-15
+	if err := c.AddCapacitor("cc", agg, vic, cc); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddCapacitor("cg", vic, Ground, cg); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddResistor("rhold", vic, Ground, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TranOptions{TStop: 3e-9, DT: 1e-12, SkipDC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trc, err := res.Trace(vic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, peak := trc.MinMax()
+	want := 3.3 * cc / (cc + cg) // capacitive divider: 1.65 V
+	if math.Abs(peak-want) > 0.1 {
+		t.Errorf("glitch peak = %v, want ~%v (capacitive divider)", peak, want)
+	}
+}
+
+// Event override: the coupling-model drop. A rising RC output crossing
+// the trigger voltage is reset to Vth; the final monotone tail must
+// start at Vth and the total delay must exceed the no-event delay.
+func TestEventOverride(t *testing.T) {
+	build := func(ev *Event) *Trace {
+		c := NewCircuit()
+		in := c.Node("in")
+		out := c.Node("out")
+		c.AddVSource("vs", in, Ground, DC(3.3))
+		_ = c.AddResistor("r", in, out, 1e3)
+		_ = c.AddCapacitor("c", out, Ground, 1e-12)
+		opts := TranOptions{TStop: 10e-9, DT: 5e-12, SkipDC: true}
+		if ev != nil {
+			opts.Events = []*Event{ev}
+		}
+		res, err := c.Transient(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trc, err := res.Trace(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trc
+	}
+	base := build(nil)
+	tBase, ok := base.FirstCrossing(1.65, waveform.Rising)
+	if !ok {
+		t.Fatal("no baseline crossing")
+	}
+
+	var out NodeID = 2 // second node created ("out")
+	ev := &Event{
+		Node:      out,
+		Threshold: 1.0,
+		Dir:       waveform.Rising,
+		Action: func(tm float64, s *State) {
+			s.SetV(out, 0.2)
+		},
+	}
+	bumped := build(ev)
+	tBumped, ok := bumped.LastCrossing(1.65, waveform.Rising)
+	if !ok {
+		t.Fatal("no crossing after event")
+	}
+	if tBumped <= tBase {
+		t.Errorf("event must delay crossing: %v vs %v", tBumped, tBase)
+	}
+	// The tail must restart at 0.2 V.
+	w, err := bumped.MonotoneTail(waveform.Rising, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.V0() != 0.2 {
+		t.Errorf("tail starts at %v, want 0.2", w.V0())
+	}
+	if err := w.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceCrossings(t *testing.T) {
+	tr := &Trace{
+		T: []float64{0, 1, 2, 3, 4},
+		V: []float64{0, 2, 1, 3, 3.3},
+	}
+	f, ok := tr.FirstCrossing(1.5, waveform.Rising)
+	if !ok || math.Abs(f-0.75) > 1e-12 {
+		t.Errorf("first rising crossing = %v, %v", f, ok)
+	}
+	l, ok := tr.LastCrossing(1.5, waveform.Rising)
+	if !ok || math.Abs(l-2.25) > 1e-12 {
+		t.Errorf("last rising crossing = %v, %v", l, ok)
+	}
+	d, ok := tr.FirstCrossing(1.5, waveform.Falling)
+	if !ok || math.Abs(d-1.5) > 1e-12 {
+		t.Errorf("falling crossing = %v, %v", d, ok)
+	}
+	if _, ok := tr.FirstCrossing(5, waveform.Rising); ok {
+		t.Error("crossing above max must not exist")
+	}
+}
+
+func TestTransientOptionValidation(t *testing.T) {
+	c := NewCircuit()
+	a := c.Node("a")
+	_ = c.AddResistor("r", a, Ground, 1e3)
+	if _, err := c.Transient(TranOptions{TStop: 0, DT: 1e-12}); err == nil {
+		t.Error("TStop=0 must error")
+	}
+	if _, err := c.Transient(TranOptions{TStop: 1e-9, DT: 0}); err == nil {
+		t.Error("DT=0 must error")
+	}
+	empty := NewCircuit()
+	if _, err := empty.Transient(TranOptions{TStop: 1e-9, DT: 1e-12}); err == nil {
+		t.Error("empty circuit must error")
+	}
+}
+
+func TestProbeSelection(t *testing.T) {
+	c := NewCircuit()
+	a := c.Node("a")
+	b := c.Node("b")
+	c.AddVSource("v", a, Ground, DC(1))
+	_ = c.AddResistor("r", a, b, 1e3)
+	_ = c.AddCapacitor("cb", b, Ground, 1e-15)
+	res, err := c.Transient(TranOptions{TStop: 1e-10, DT: 1e-12, Probes: []NodeID{b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Trace(b); err != nil {
+		t.Error("probed node must have a trace")
+	}
+	if _, err := res.Trace(a); err == nil {
+		t.Error("unprobed node must not have a trace")
+	}
+}
+
+func TestIsFiniteHelper(t *testing.T) {
+	if !isFinite(1.5) || isFinite(math.NaN()) || isFinite(math.Inf(1)) {
+		t.Error("isFinite broken")
+	}
+}
+
+func BenchmarkInverterTransient(b *testing.B) {
+	p := device.Generic05um()
+	lib := device.NewLibrary(p, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewCircuit()
+		vdd := c.Node("vdd")
+		in := c.Node("in")
+		out := c.Node("out")
+		c.AddVSource("vvdd", vdd, Ground, DC(p.VDD))
+		c.AddVSource("vin", in, Ground, RampSource{T0: 0.1e-9, TR: 0.2e-9, V0: 0, V1: p.VDD})
+		newInverter(c, lib, in, out, vdd)
+		_ = c.AddCapacitor("cl", out, Ground, 50e-15)
+		if _, err := c.Transient(TranOptions{
+			TStop:    3e-9,
+			DT:       5e-12,
+			SkipDC:   true,
+			InitialV: map[NodeID]float64{out: p.VDD, vdd: p.VDD},
+			Probes:   []NodeID{out},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

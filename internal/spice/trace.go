@@ -1,0 +1,149 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"xtalksta/internal/waveform"
+)
+
+// Trace is a sampled (not necessarily monotone) node voltage trace.
+// Unlike waveform.Waveform it can represent coupling glitches and the
+// pre-restart part of a victim transition.
+type Trace struct {
+	T []float64
+	V []float64
+}
+
+// Len returns the number of samples.
+func (tr *Trace) Len() int { return len(tr.T) }
+
+// At returns the linearly interpolated value at time t with boundary
+// hold.
+func (tr *Trace) At(t float64) float64 {
+	n := len(tr.T)
+	if n == 0 {
+		return 0
+	}
+	if t <= tr.T[0] {
+		return tr.V[0]
+	}
+	if t >= tr.T[n-1] {
+		return tr.V[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if tr.T[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	f := (t - tr.T[lo]) / (tr.T[hi] - tr.T[lo])
+	return tr.V[lo] + f*(tr.V[hi]-tr.V[lo])
+}
+
+// Final returns the last sampled value.
+func (tr *Trace) Final() float64 {
+	if len(tr.V) == 0 {
+		return 0
+	}
+	return tr.V[len(tr.V)-1]
+}
+
+// MinMax returns the extrema of the trace.
+func (tr *Trace) MinMax() (min, max float64) {
+	if len(tr.V) == 0 {
+		return 0, 0
+	}
+	min, max = tr.V[0], tr.V[0]
+	for _, v := range tr.V {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+func (tr *Trace) crossSegment(i int, v float64) float64 {
+	a, b := tr.V[i-1], tr.V[i]
+	if b == a {
+		return tr.T[i]
+	}
+	f := (v - a) / (b - a)
+	return tr.T[i-1] + f*(tr.T[i]-tr.T[i-1])
+}
+
+// FirstCrossing returns the first time the trace crosses v in the given
+// direction.
+func (tr *Trace) FirstCrossing(v float64, dir waveform.Direction) (float64, bool) {
+	for i := 1; i < len(tr.T); i++ {
+		if dir == waveform.Rising && tr.V[i-1] < v && tr.V[i] >= v {
+			return tr.crossSegment(i, v), true
+		}
+		if dir == waveform.Falling && tr.V[i-1] > v && tr.V[i] <= v {
+			return tr.crossSegment(i, v), true
+		}
+	}
+	return 0, false
+}
+
+// LastCrossing returns the last time the trace crosses v in the given
+// direction. For a victim waveform that dips and recovers (the coupling
+// glitch) this is the delay-relevant crossing.
+func (tr *Trace) LastCrossing(v float64, dir waveform.Direction) (float64, bool) {
+	for i := len(tr.T) - 1; i >= 1; i-- {
+		if dir == waveform.Rising && tr.V[i-1] < v && tr.V[i] >= v {
+			return tr.crossSegment(i, v), true
+		}
+		if dir == waveform.Falling && tr.V[i-1] > v && tr.V[i] <= v {
+			return tr.crossSegment(i, v), true
+		}
+	}
+	return 0, false
+}
+
+// MonotoneTail extracts the final monotone portion of the trace as a
+// waveform in the given direction, starting no higher (rising) / no
+// lower (falling) than vStart. This implements the paper's rule that
+// "the waveforms start with the value of Vth": everything before the
+// last time the trace passed vStart in the transition direction is
+// discarded.
+func (tr *Trace) MonotoneTail(dir waveform.Direction, vStart float64) (*waveform.Waveform, error) {
+	if len(tr.T) < 2 {
+		return nil, fmt.Errorf("spice: trace too short for waveform extraction")
+	}
+	tStart, ok := tr.LastCrossing(vStart, dir)
+	if !ok {
+		// The trace may start beyond vStart already (fast input): begin
+		// at the first sample.
+		tStart = tr.T[0]
+	}
+	w := &waveform.Waveform{Dir: dir}
+	w.Append(tStart, vStart)
+	for i := range tr.T {
+		if tr.T[i] <= tStart {
+			continue
+		}
+		w.Append(tr.T[i], tr.V[i])
+	}
+	if len(w.Points) < 2 {
+		// Crossing at the very end: synthesize a final point.
+		w.Append(tStart+1e-15, tr.Final())
+	}
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("spice: monotone tail extraction: %w", err)
+	}
+	return w, nil
+}
+
+// Settled reports whether the trace's final value is within tol of
+// target — used to verify a transition completed within the simulated
+// window.
+func (tr *Trace) Settled(target, tol float64) bool {
+	return math.Abs(tr.Final()-target) <= tol
+}

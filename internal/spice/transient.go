@@ -1,0 +1,559 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"xtalksta/internal/solver"
+	"xtalksta/internal/waveform"
+)
+
+// Integrator selects the companion model used for capacitors.
+type Integrator int
+
+const (
+	// BackwardEuler is robust and L-stable; it is the default and the
+	// method used for the per-arc STA stage simulations, where the
+	// coupling model injects instantaneous state jumps.
+	BackwardEuler Integrator = iota
+	// Trapezoidal is second-order accurate; used by the golden path
+	// simulations.
+	Trapezoidal
+)
+
+// String names the integrator.
+func (i Integrator) String() string {
+	if i == Trapezoidal {
+		return "trapezoidal"
+	}
+	return "backward-euler"
+}
+
+// Event is a threshold-crossing trigger on a node. When the node value
+// crosses Threshold in direction Dir during a step, Action is invoked
+// once with the crossing time and a state handle that can override node
+// voltages — this is how the paper's instantaneous coupling drop is
+// applied to the victim.
+type Event struct {
+	Node      NodeID
+	Threshold float64
+	Dir       waveform.Direction
+	// Action may call State.SetV to apply instantaneous jumps. It runs
+	// at most once.
+	Action func(t float64, s *State)
+
+	fired bool
+}
+
+// State is the live solver state handed to event actions.
+type State struct {
+	tr *tranRun
+}
+
+// V returns the present voltage of a node.
+func (s *State) V(n NodeID) float64 { return s.tr.nodeV(n, s.tr.tNow) }
+
+// SetV overrides the voltage of a free node instantaneously. Capacitor
+// charge history is re-based on the overridden state, matching the
+// capacitive-divider semantics of the coupling model. Driven nodes and
+// ground are unaffected.
+func (s *State) SetV(n NodeID, v float64) {
+	idx := s.tr.unkIdx[n]
+	if idx < 0 {
+		return
+	}
+	s.tr.x[idx] = v
+	s.tr.rebased = true
+}
+
+// TranOptions configures a transient run.
+type TranOptions struct {
+	TStop  float64 // end time (required, > 0)
+	DT     float64 // base timestep (required, > 0)
+	Method Integrator
+	// InitialV seeds node voltages before the DC operating point solve
+	// (and entirely defines the initial state when SkipDC is set).
+	// Entries for driven nodes are ignored.
+	InitialV map[NodeID]float64
+	// SkipDC starts the transient directly from InitialV without an
+	// operating-point solve.
+	SkipDC bool
+	// Probes limits which nodes are recorded; nil records every node.
+	Probes []NodeID
+	// Events are threshold-crossing triggers (see Event).
+	Events []*Event
+	// Gmin is the minimum conductance from every free node to ground
+	// (default 1e-12 S) that keeps matrices non-singular when nodes
+	// float through capacitors only.
+	Gmin float64
+	// MaxNewtonIter bounds the per-step Newton iterations (default 60).
+	MaxNewtonIter int
+	// ForceDense disables the banded solver selection (ablation).
+	ForceDense bool
+}
+
+// Result holds the recorded traces of a transient run.
+type Result struct {
+	Time   []float64
+	traces map[NodeID][]float64
+	ckt    *Circuit
+	// Banded reports whether the banded solver was used.
+	Banded bool
+}
+
+// Trace returns the recorded trace for a node, or an error when the
+// node was not probed.
+func (r *Result) Trace(n NodeID) (*Trace, error) {
+	v, ok := r.traces[n]
+	if !ok {
+		return nil, fmt.Errorf("spice: node %s was not probed", r.ckt.NodeName(n))
+	}
+	return &Trace{T: r.Time, V: v}, nil
+}
+
+// tranRun is the per-run solver state.
+type tranRun struct {
+	ckt  *Circuit
+	opts TranOptions
+
+	unkIdx  []int // per node: unknown index, or -1 (ground / driven)
+	nFree   int
+	nBranch int
+
+	x        []float64 // free node voltages then branch currents
+	xPrev    []float64
+	capIPrev []float64 // per-capacitor current at previous step (trapezoidal)
+	rebased  bool      // set when an event overrode state mid-run
+
+	tNow, tPrev, h float64
+	dcMode         bool
+	// effMethod is the integrator for the current step; the first
+	// transient step always uses Backward Euler to initialize the
+	// trapezoidal history from a consistent state.
+	effMethod Integrator
+}
+
+// nodeV returns the voltage of any node at time t under the current
+// state vector.
+func (tr *tranRun) nodeV(n NodeID, t float64) float64 {
+	if n == Ground {
+		return 0
+	}
+	if src, ok := tr.ckt.driven[n]; ok {
+		return src.V(t)
+	}
+	return tr.x[tr.unkIdx[n]]
+}
+
+func (tr *tranRun) prevNodeV(n NodeID) float64 {
+	if n == Ground {
+		return 0
+	}
+	if src, ok := tr.ckt.driven[n]; ok {
+		return src.V(tr.tPrev)
+	}
+	return tr.xPrev[tr.unkIdx[n]]
+}
+
+// Eval implements solver.System: KCL residual and Jacobian at point x.
+func (tr *tranRun) Eval(x []float64, jac *solver.Matrix, res []float64) {
+	ckt := tr.ckt
+	nv := func(n NodeID) float64 {
+		if n == Ground {
+			return 0
+		}
+		if src, ok := ckt.driven[n]; ok {
+			return src.V(tr.tNow)
+		}
+		return x[tr.unkIdx[n]]
+	}
+	col := func(n NodeID) int {
+		if n == Ground {
+			return -1
+		}
+		return tr.unkIdx[n]
+	}
+	addJ := func(r NodeID, c int, v float64) {
+		ri := col(r)
+		if ri < 0 || c < 0 {
+			return
+		}
+		jac.Add(ri, c, v)
+	}
+	addRes := func(r NodeID, v float64) {
+		if ri := col(r); ri >= 0 {
+			res[ri] += v
+		}
+	}
+
+	// Gmin from every free node to ground.
+	gmin := tr.opts.Gmin
+	for i := 0; i < tr.nFree; i++ {
+		res[i] += gmin * x[i]
+		jac.Add(i, i, gmin)
+	}
+
+	for _, r := range ckt.resistors {
+		i := r.g * (nv(r.a) - nv(r.b))
+		addRes(r.a, i)
+		addRes(r.b, -i)
+		addJ(r.a, col(r.a), r.g)
+		addJ(r.a, col(r.b), -r.g)
+		addJ(r.b, col(r.a), -r.g)
+		addJ(r.b, col(r.b), r.g)
+	}
+
+	if !tr.dcMode {
+		for ci, c := range ckt.capacitors {
+			var geq, hist float64
+			dvPrev := tr.prevNodeV(c.a) - tr.prevNodeV(c.b)
+			switch tr.effMethod {
+			case Trapezoidal:
+				geq = 2 * c.c / tr.h
+				hist = geq*dvPrev + tr.capIPrev[ci]
+			default: // Backward Euler
+				geq = c.c / tr.h
+				hist = geq * dvPrev
+			}
+			i := geq*(nv(c.a)-nv(c.b)) - hist
+			addRes(c.a, i)
+			addRes(c.b, -i)
+			addJ(c.a, col(c.a), geq)
+			addJ(c.a, col(c.b), -geq)
+			addJ(c.b, col(c.a), -geq)
+			addJ(c.b, col(c.b), geq)
+		}
+	}
+
+	for _, m := range ckt.mosfets {
+		vgs := nv(m.g) - nv(m.s)
+		vds := nv(m.d) - nv(m.s)
+		ids, gm, gds := m.model.Eval(vgs, vds)
+		// Current flows d→s (leaves node d, enters node s).
+		addRes(m.d, ids)
+		addRes(m.s, -ids)
+		addJ(m.d, col(m.g), gm)
+		addJ(m.d, col(m.d), gds)
+		addJ(m.d, col(m.s), -(gm + gds))
+		addJ(m.s, col(m.g), -gm)
+		addJ(m.s, col(m.d), -gds)
+		addJ(m.s, col(m.s), gm+gds)
+	}
+
+	for bi, v := range ckt.vsources {
+		bcol := tr.nFree + bi
+		ib := x[bcol]
+		addRes(v.pos, ib)
+		addRes(v.neg, -ib)
+		addJ(v.pos, bcol, 1)
+		addJ(v.neg, bcol, -1)
+		// Constraint row.
+		res[bcol] = nv(v.pos) - nv(v.neg) - v.src.V(tr.tNow)
+		if c := col(v.pos); c >= 0 {
+			jac.Add(bcol, c, 1)
+		}
+		if c := col(v.neg); c >= 0 {
+			jac.Add(bcol, c, -1)
+		}
+	}
+}
+
+// bandwidth returns the half bandwidth of the system under the current
+// unknown numbering.
+func (tr *tranRun) bandwidth() int {
+	bw := 0
+	upd := func(a, b NodeID) {
+		ia, ib := -1, -1
+		if a != Ground {
+			ia = tr.unkIdx[a]
+		}
+		if b != Ground {
+			ib = tr.unkIdx[b]
+		}
+		if ia < 0 || ib < 0 {
+			return
+		}
+		d := ia - ib
+		if d < 0 {
+			d = -d
+		}
+		if d > bw {
+			bw = d
+		}
+	}
+	for _, r := range tr.ckt.resistors {
+		upd(r.a, r.b)
+	}
+	for _, c := range tr.ckt.capacitors {
+		upd(c.a, c.b)
+	}
+	for _, m := range tr.ckt.mosfets {
+		upd(m.d, m.g)
+		upd(m.d, m.s)
+		upd(m.g, m.s)
+	}
+	for bi, v := range tr.ckt.vsources {
+		bcol := tr.nFree + bi
+		for _, n := range []NodeID{v.pos, v.neg} {
+			if n == Ground {
+				continue
+			}
+			if i := tr.unkIdx[n]; i >= 0 {
+				d := bcol - i
+				if d < 0 {
+					d = -d
+				}
+				if d > bw {
+					bw = d
+				}
+			}
+		}
+	}
+	return bw
+}
+
+// newRun builds the per-run state and unknown numbering.
+func (c *Circuit) newRun(opts TranOptions) (*tranRun, error) {
+	tr := &tranRun{
+		ckt:      c,
+		opts:     opts,
+		unkIdx:   make([]int, len(c.nodeNames)),
+		capIPrev: make([]float64, len(c.capacitors)),
+		nBranch:  len(c.vsources),
+	}
+	idx := 0
+	tr.unkIdx[Ground] = -1
+	for id := 1; id < len(c.nodeNames); id++ {
+		if _, ok := c.driven[NodeID(id)]; ok {
+			tr.unkIdx[id] = -1
+			continue
+		}
+		tr.unkIdx[id] = idx
+		idx++
+	}
+	tr.nFree = idx
+	nUnk := tr.nFree + tr.nBranch
+	if nUnk == 0 {
+		return nil, fmt.Errorf("spice: circuit has no unknowns (empty or fully driven)")
+	}
+	tr.x = make([]float64, nUnk)
+	tr.xPrev = make([]float64, nUnk)
+	for n, v := range opts.InitialV {
+		if n != Ground {
+			if i := tr.unkIdx[n]; i >= 0 {
+				tr.x[i] = v
+			}
+		}
+	}
+	return tr, nil
+}
+
+// Transient runs a transient analysis and returns the recorded traces.
+func (c *Circuit) Transient(opts TranOptions) (*Result, error) {
+	if opts.TStop <= 0 {
+		return nil, fmt.Errorf("spice: TStop must be positive, got %g", opts.TStop)
+	}
+	if opts.DT <= 0 {
+		return nil, fmt.Errorf("spice: DT must be positive, got %g", opts.DT)
+	}
+	if opts.Gmin == 0 {
+		opts.Gmin = 1e-12
+	}
+	if opts.MaxNewtonIter == 0 {
+		opts.MaxNewtonIter = 60
+	}
+	for _, ev := range opts.Events {
+		if c.Driven(ev.Node) || ev.Node == Ground {
+			return nil, fmt.Errorf("spice: event on driven/ground node %s", c.NodeName(ev.Node))
+		}
+	}
+
+	tr, err := c.newRun(opts)
+	if err != nil {
+		return nil, err
+	}
+	nUnk := tr.nFree + tr.nBranch
+
+	// Pick the linear solver: banded for large chain-structured
+	// systems, dense otherwise.
+	nwOpts := solver.NewtonOptions{
+		MaxIter: opts.MaxNewtonIter,
+		TolX:    1e-7,
+		// 50 nA of KCL residual on a ~100 fF node over a ~ps step is a
+		// sub-µV error — far below TolX — but loose enough that table-
+		// boundary chatter in large circuits cannot stall the run.
+		TolF:    5e-8,
+		MaxStep: 0.4,
+	}
+	banded := false
+	if !opts.ForceDense {
+		if bw := tr.bandwidth(); nUnk >= 40 && bw <= 16 {
+			nwOpts.Linear = solver.NewBandedLU(nUnk, bw)
+			banded = true
+		}
+	}
+	nw := solver.NewNewton(nUnk, nwOpts)
+
+	// DC operating point: capacitors open, sources at t=0.
+	if !opts.SkipDC {
+		tr.dcMode = true
+		tr.tNow, tr.tPrev = 0, 0
+		if _, err := nw.Solve(tr, tr.x); err != nil {
+			return nil, fmt.Errorf("spice: DC operating point: %w", err)
+		}
+		tr.dcMode = false
+	}
+
+	probes := opts.Probes
+	if probes == nil {
+		for id := 1; id < len(c.nodeNames); id++ {
+			probes = append(probes, NodeID(id))
+		}
+	}
+	res := &Result{
+		traces: make(map[NodeID][]float64, len(probes)),
+		ckt:    c,
+		Banded: banded,
+	}
+	record := func(t float64) {
+		res.Time = append(res.Time, t)
+		for _, p := range probes {
+			res.traces[p] = append(res.traces[p], tr.nodeV(p, t))
+		}
+	}
+	tr.tNow = 0
+	record(0)
+
+	state := &State{tr: tr}
+	t := 0.0
+	firstStep := true
+	for t < opts.TStop {
+		tr.effMethod = opts.Method
+		if firstStep {
+			tr.effMethod = BackwardEuler
+		}
+		h := opts.DT
+		if t+h > opts.TStop {
+			h = opts.TStop - t
+		}
+		copy(tr.xPrev, tr.x)
+		tr.tPrev = t
+		// Retry with halved steps on Newton failure.
+		var solved bool
+		for attempt := 0; attempt < 5; attempt++ {
+			tr.h = h
+			tr.tNow = t + h
+			copy(tr.x, tr.xPrev)
+			if _, err := nw.Solve(tr, tr.x); err == nil {
+				solved = true
+				break
+			}
+			h /= 2
+		}
+		if !solved {
+			return nil, fmt.Errorf("spice: transient failed to converge at t=%g (%s)", t, tr.worstResidualInfo())
+		}
+		// Update the capacitor-current history used by trapezoidal
+		// integration (also after the BE startup step).
+		if opts.Method == Trapezoidal {
+			for ci, cp := range c.capacitors {
+				dv := tr.nodeV(cp.a, tr.tNow) - tr.nodeV(cp.b, tr.tNow)
+				dvPrev := tr.prevNodeV(cp.a) - tr.prevNodeV(cp.b)
+				if tr.effMethod == BackwardEuler {
+					tr.capIPrev[ci] = cp.c / tr.h * (dv - dvPrev)
+				} else {
+					geq := 2 * cp.c / tr.h
+					tr.capIPrev[ci] = geq*(dv-dvPrev) - tr.capIPrev[ci]
+				}
+			}
+		}
+		firstStep = false
+		tNew := t + h
+		// Event detection on the accepted step.
+		for _, ev := range opts.Events {
+			if ev.fired {
+				continue
+			}
+			vPrev := tr.prevNodeV(ev.Node)
+			vNow := tr.nodeV(ev.Node, tNew)
+			crossed := false
+			if ev.Dir == waveform.Rising {
+				crossed = vPrev < ev.Threshold && vNow >= ev.Threshold
+			} else {
+				crossed = vPrev > ev.Threshold && vNow <= ev.Threshold
+			}
+			if crossed {
+				ev.fired = true
+				if ev.Action != nil {
+					ev.Action(tNew, state)
+				}
+			}
+		}
+		if tr.rebased {
+			// An event overrode node voltages: restart the capacitor
+			// history from the overridden state (instantaneous charge
+			// redistribution, per the coupling model).
+			for ci := range tr.capIPrev {
+				tr.capIPrev[ci] = 0
+			}
+			tr.rebased = false
+		}
+		record(tNew)
+		t = tNew
+	}
+	return res, nil
+}
+
+// OperatingPoint solves the DC state of the circuit (capacitors open,
+// sources at t = 0) and returns the node voltages by NodeID (including
+// driven nodes at their t=0 values).
+func (c *Circuit) OperatingPoint(initial map[NodeID]float64) (map[NodeID]float64, error) {
+	tr, err := c.newRun(TranOptions{Gmin: 1e-12, InitialV: initial})
+	if err != nil {
+		return nil, err
+	}
+	tr.dcMode = true
+	nUnk := tr.nFree + tr.nBranch
+	nw := solver.NewNewton(nUnk, solver.NewtonOptions{MaxIter: 200, TolX: 1e-9, TolF: 5e-8, MaxStep: 0.4})
+	if _, err := nw.Solve(tr, tr.x); err != nil {
+		return nil, fmt.Errorf("spice: operating point: %w", err)
+	}
+	out := make(map[NodeID]float64, len(c.nodeNames)-1)
+	for id := 1; id < len(c.nodeNames); id++ {
+		out[NodeID(id)] = tr.nodeV(NodeID(id), 0)
+	}
+	return out, nil
+}
+
+// worstResidualInfo evaluates the residual at the current state and
+// names the node with the largest KCL violation — the diagnostic shown
+// on non-convergence.
+func (tr *tranRun) worstResidualInfo() string {
+	nUnk := tr.nFree + tr.nBranch
+	jac := solver.NewMatrix(nUnk)
+	res := make([]float64, nUnk)
+	tr.Eval(tr.x, jac, res)
+	worstIdx, worstVal := -1, 0.0
+	for i, r := range res {
+		if a := math.Abs(r); a > worstVal {
+			worstVal = a
+			worstIdx = i
+		}
+	}
+	if worstIdx < 0 {
+		return "no residual"
+	}
+	name := fmt.Sprintf("branch %d", worstIdx-tr.nFree)
+	volt := math.NaN()
+	for id := 1; id < len(tr.ckt.nodeNames); id++ {
+		if tr.unkIdx[id] == worstIdx {
+			name = tr.ckt.NodeName(NodeID(id))
+			volt = tr.x[worstIdx]
+			break
+		}
+	}
+	return fmt.Sprintf("worst residual %.3g A at %s (%.3g V)", worstVal, name, volt)
+}
+
+// guard against accidental NaN propagation in tests.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

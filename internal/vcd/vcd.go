@@ -1,0 +1,102 @@
+// Package vcd writes analog traces from the transient engine as
+// Value-Change-Dump files (real-valued variables), viewable in GTKWave
+// and friends — the debugging hand-off every circuit tool needs.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"xtalksta/internal/spice"
+)
+
+// Signal pairs a display name with a recorded trace.
+type Signal struct {
+	Name  string
+	Trace *spice.Trace
+}
+
+// Write dumps the signals with the given timescale resolution (e.g.
+// 1e-12 for 1 ps). All traces must share one time base (the usual case:
+// one Result).
+func Write(w io.Writer, module string, timescale float64, signals []Signal) error {
+	if len(signals) == 0 {
+		return fmt.Errorf("vcd: no signals")
+	}
+	if timescale <= 0 {
+		return fmt.Errorf("vcd: timescale must be positive, got %g", timescale)
+	}
+	for _, s := range signals {
+		if s.Trace == nil || s.Trace.Len() == 0 {
+			return fmt.Errorf("vcd: signal %q has no samples", s.Name)
+		}
+	}
+	sorted := append([]Signal(nil), signals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "$version xtalksta $end\n")
+	fmt.Fprintf(bw, "$timescale %s $end\n", timescaleName(timescale))
+	fmt.Fprintf(bw, "$scope module %s $end\n", module)
+	ids := make([]string, len(sorted))
+	for i, s := range sorted {
+		ids[i] = idCode(i)
+		fmt.Fprintf(bw, "$var real 64 %s %s $end\n", ids[i], s.Name)
+	}
+	fmt.Fprintf(bw, "$upscope $end\n$enddefinitions $end\n")
+
+	// Merge the (shared) time base; emit changes only. Change detection
+	// compares the FORMATTED value so sub-precision numerical noise does
+	// not bloat the dump.
+	base := sorted[0].Trace
+	last := make([]string, len(sorted))
+	fmt.Fprintf(bw, "#0\n")
+	for i := range sorted {
+		last[i] = fmt.Sprintf("r%.6g", sorted[i].Trace.V[0])
+		fmt.Fprintf(bw, "%s %s\n", last[i], ids[i])
+	}
+	for ti := 1; ti < base.Len(); ti++ {
+		t := base.T[ti]
+		stamp := int64(t / timescale)
+		stamped := false
+		for i, s := range sorted {
+			enc := fmt.Sprintf("r%.6g", s.Trace.At(t))
+			if enc == last[i] {
+				continue
+			}
+			if !stamped {
+				fmt.Fprintf(bw, "#%d\n", stamp)
+				stamped = true
+			}
+			fmt.Fprintf(bw, "%s %s\n", enc, ids[i])
+			last[i] = enc
+		}
+	}
+	return bw.Flush()
+}
+
+// idCode produces the compact VCD identifier for index i (printable
+// ASCII 33..126).
+func idCode(i int) string {
+	const lo, hi = 33, 127
+	n := hi - lo
+	if i < n {
+		return string(rune(lo + i))
+	}
+	return string(rune(lo+i/n)) + string(rune(lo+i%n))
+}
+
+func timescaleName(ts float64) string {
+	switch {
+	case ts >= 1e-6:
+		return "1 us"
+	case ts >= 1e-9:
+		return "1 ns"
+	case ts >= 1e-12:
+		return "1 ps"
+	default:
+		return "1 fs"
+	}
+}

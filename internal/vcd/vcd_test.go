@@ -1,0 +1,120 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+
+	"xtalksta/internal/spice"
+)
+
+func traces() []Signal {
+	t := []float64{0, 1e-12, 2e-12, 3e-12}
+	return []Signal{
+		{Name: "b_sig", Trace: &spice.Trace{T: t, V: []float64{0, 1, 2, 3}}},
+		{Name: "a_sig", Trace: &spice.Trace{T: t, V: []float64{3.3, 3.3, 1.0, 0}}},
+	}
+}
+
+func TestWriteBasics(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, "top", 1e-12, traces()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1 ps $end",
+		"$scope module top $end",
+		"$var real 64 ! a_sig $end", // sorted: a_sig first
+		"$var real 64 \" b_sig $end",
+		"$enddefinitions $end",
+		"#0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Unchanged values emit no change records: a_sig stays 3.3 at #1.
+	if strings.Contains(out, "#1\nr3.3 !") {
+		t.Error("unchanged value re-emitted")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	if err := Write(&strings.Builder{}, "m", 1e-12, nil); err == nil {
+		t.Error("no signals must error")
+	}
+	if err := Write(&strings.Builder{}, "m", 0, traces()); err == nil {
+		t.Error("zero timescale must error")
+	}
+	if err := Write(&strings.Builder{}, "m", 1e-12, []Signal{{Name: "x", Trace: &spice.Trace{}}}); err == nil {
+		t.Error("empty trace must error")
+	}
+}
+
+func TestIDCodes(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		id := idCode(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+		for _, r := range id {
+			if r < 33 || r > 126 {
+				t.Fatalf("non-printable id rune %d", r)
+			}
+		}
+	}
+}
+
+func TestTimescaleNames(t *testing.T) {
+	if timescaleName(1e-12) != "1 ps" || timescaleName(1e-9) != "1 ns" ||
+		timescaleName(1e-15) != "1 fs" || timescaleName(1e-6) != "1 us" {
+		t.Error("timescale naming broken")
+	}
+}
+
+func TestEndToEndWithTransient(t *testing.T) {
+	c := spice.NewCircuit()
+	in, err := c.DriveNode("in", spice.RampSource{T0: 1e-10, TR: 1e-10, V0: 0, V1: 3.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Node("out")
+	if err := c.AddResistor("r", in, out, 1e3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddCapacitor("c", out, spice.Ground, 50e-15); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(spice.TranOptions{TStop: 1e-9, DT: 5e-12, SkipDC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := res.Trace(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, "rc", 1e-12, []Signal{{Name: "out", Trace: tr}}); err != nil {
+		t.Fatal(err)
+	}
+	out2 := sb.String()
+	// The transition (τ = 50 ps) spans hundreds of ps: timestamps past
+	// #500 must appear, and after the value settles at 3.3 no further
+	// change records may be emitted.
+	if !strings.Contains(out2, "#5") && !strings.Contains(out2, "#6") {
+		t.Errorf("missing mid-transient timestamps:\n%s", lastLines(out2, 5))
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out2), "r3.3 !") {
+		t.Errorf("final change record should be the settled 3.3 value:\n%s", lastLines(out2, 3))
+	}
+}
+
+func lastLines(s string, n int) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,297 @@
+// Package waveform represents the monotone voltage waveforms that the
+// crosstalk-aware STA propagates. The paper's coupling model (§2)
+// deliberately keeps all waveforms monotonously rising or falling by
+// restarting the victim waveform at Vth after the coupling event, so a
+// monotone piecewise-linear representation is exact for our purposes.
+package waveform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Direction distinguishes rising from falling transitions.
+type Direction int
+
+const (
+	Rising Direction = iota
+	Falling
+)
+
+// String returns "rise" or "fall".
+func (d Direction) String() string {
+	if d == Rising {
+		return "rise"
+	}
+	return "fall"
+}
+
+// Opposite returns the other direction. Crosstalk delay pushout occurs
+// when the aggressor switches in the Opposite direction of the victim.
+func (d Direction) Opposite() Direction {
+	if d == Rising {
+		return Falling
+	}
+	return Rising
+}
+
+// Point is one sample of a piecewise-linear waveform.
+type Point struct {
+	T float64 // seconds
+	V float64 // volts
+}
+
+// Waveform is a monotone piecewise-linear voltage transition. Points
+// are strictly increasing in time; V is non-decreasing for Rising and
+// non-increasing for Falling waveforms.
+type Waveform struct {
+	Dir    Direction
+	Points []Point
+}
+
+// Ramp builds a saturated-ramp waveform transitioning between v0 and
+// v1, starting at t0 and taking tr seconds. The direction follows from
+// the sign of v1 − v0.
+func Ramp(t0, tr, v0, v1 float64) *Waveform {
+	dir := Rising
+	if v1 < v0 {
+		dir = Falling
+	}
+	if tr <= 0 {
+		tr = 1e-15 // effectively a step, but keep time strictly increasing
+	}
+	return &Waveform{
+		Dir:    dir,
+		Points: []Point{{t0, v0}, {t0 + tr, v1}},
+	}
+}
+
+// StepAt returns an (almost) instantaneous transition at time t —
+// used for the paper's worst-case aggressor ("instantaneous voltage
+// drop on the aggressor line").
+func StepAt(t, v0, v1 float64) *Waveform {
+	return Ramp(t, 1e-15, v0, v1)
+}
+
+// Validate checks the structural invariants and returns a descriptive
+// error when violated. Monotonicity tolerates sub-microvolt numerical
+// noise.
+func (w *Waveform) Validate() error {
+	if len(w.Points) < 2 {
+		return fmt.Errorf("waveform: need at least 2 points, have %d", len(w.Points))
+	}
+	const tolV = 1e-7
+	for i := 1; i < len(w.Points); i++ {
+		if w.Points[i].T <= w.Points[i-1].T {
+			return fmt.Errorf("waveform: time not strictly increasing at index %d (%g then %g)",
+				i, w.Points[i-1].T, w.Points[i].T)
+		}
+		dv := w.Points[i].V - w.Points[i-1].V
+		if w.Dir == Rising && dv < -tolV {
+			return fmt.Errorf("waveform: rising waveform decreases by %g V at index %d", -dv, i)
+		}
+		if w.Dir == Falling && dv > tolV {
+			return fmt.Errorf("waveform: falling waveform increases by %g V at index %d", dv, i)
+		}
+	}
+	return nil
+}
+
+// Start returns the first point's time.
+func (w *Waveform) Start() float64 { return w.Points[0].T }
+
+// End returns the last point's time.
+func (w *Waveform) End() float64 { return w.Points[len(w.Points)-1].T }
+
+// V0 returns the initial voltage.
+func (w *Waveform) V0() float64 { return w.Points[0].V }
+
+// V1 returns the final voltage.
+func (w *Waveform) V1() float64 { return w.Points[len(w.Points)-1].V }
+
+// At returns the voltage at time t, holding the boundary values outside
+// the sampled interval.
+func (w *Waveform) At(t float64) float64 {
+	pts := w.Points
+	if t <= pts[0].T {
+		return pts[0].V
+	}
+	if t >= pts[len(pts)-1].T {
+		return pts[len(pts)-1].V
+	}
+	// Binary search for the segment containing t.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].T > t })
+	a, b := pts[i-1], pts[i]
+	f := (t - a.T) / (b.T - a.T)
+	return a.V + f*(b.V-a.V)
+}
+
+// CrossingTime returns the first time the waveform reaches voltage v,
+// and whether it ever does. For rising waveforms this is the first
+// upward crossing; for falling, the first downward crossing.
+func (w *Waveform) CrossingTime(v float64) (float64, bool) {
+	pts := w.Points
+	reached := func(x float64) bool {
+		if w.Dir == Rising {
+			return x >= v
+		}
+		return x <= v
+	}
+	if reached(pts[0].V) {
+		return pts[0].T, true
+	}
+	for i := 1; i < len(pts); i++ {
+		if reached(pts[i].V) {
+			a, b := pts[i-1], pts[i]
+			if b.V == a.V {
+				return b.T, true
+			}
+			f := (v - a.V) / (b.V - a.V)
+			return a.T + f*(b.T-a.T), true
+		}
+	}
+	return 0, false
+}
+
+// Delay returns the time the waveform crosses the given threshold
+// voltage (typically VDD/2), or an error when the waveform never gets
+// there — which indicates a failed transition.
+func (w *Waveform) Delay(vth float64) (float64, error) {
+	t, ok := w.CrossingTime(vth)
+	if !ok {
+		return 0, fmt.Errorf("waveform: %s transition never reaches %g V (ends at %g V)", w.Dir, vth, w.V1())
+	}
+	return t, nil
+}
+
+// Slew returns the transition time between the lo and hi fractional
+// voltage levels (e.g. 0.1 and 0.9 of the full swing between V0 and
+// V1). Returns an error when either level is never reached.
+func (w *Waveform) Slew(loFrac, hiFrac float64) (float64, error) {
+	v0, v1 := w.V0(), w.V1()
+	vLo := v0 + loFrac*(v1-v0)
+	vHi := v0 + hiFrac*(v1-v0)
+	tLo, ok1 := w.CrossingTime(vLo)
+	tHi, ok2 := w.CrossingTime(vHi)
+	if !ok1 || !ok2 {
+		return 0, fmt.Errorf("waveform: slew levels %g/%g V not reached", vLo, vHi)
+	}
+	return math.Abs(tHi - tLo), nil
+}
+
+// Shifted returns a copy of the waveform translated by dt in time.
+func (w *Waveform) Shifted(dt float64) *Waveform {
+	pts := make([]Point, len(w.Points))
+	for i, p := range w.Points {
+		pts[i] = Point{p.T + dt, p.V}
+	}
+	return &Waveform{Dir: w.Dir, Points: pts}
+}
+
+// Clone returns a deep copy.
+func (w *Waveform) Clone() *Waveform {
+	pts := make([]Point, len(w.Points))
+	copy(pts, w.Points)
+	return &Waveform{Dir: w.Dir, Points: pts}
+}
+
+// Append adds a point, keeping the invariants; out-of-order or
+// non-monotone points are coerced (time forced strictly increasing,
+// voltage clamped to monotone). The coercion tolerances are tight so
+// genuine engine bugs still surface through Validate in tests.
+func (w *Waveform) Append(t, v float64) {
+	if n := len(w.Points); n > 0 {
+		last := w.Points[n-1]
+		if t <= last.T {
+			t = last.T + 1e-18
+		}
+		if w.Dir == Rising && v < last.V {
+			v = last.V
+		}
+		if w.Dir == Falling && v > last.V {
+			v = last.V
+		}
+	}
+	w.Points = append(w.Points, Point{t, v})
+}
+
+// String renders a compact summary for debugging.
+func (w *Waveform) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s[", w.Dir)
+	for i, p := range w.Points {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		if i > 3 && i < len(w.Points)-2 {
+			if i == 4 {
+				sb.WriteString("...")
+			}
+			continue
+		}
+		fmt.Fprintf(&sb, "(%.3gns,%.3gV)", p.T*1e9, p.V)
+	}
+	sb.WriteString("]")
+	return sb.String()
+}
+
+// Worst returns whichever of a and b crosses the threshold vth later —
+// the worst-case waveform propagation rule of classical STA (§4: "at
+// each vertex only the worst-case waveform is propagated"). Waveforms
+// that never cross count as worst. Both arguments must share the
+// direction; a nil argument yields the other.
+func Worst(a, b *Waveform, vth float64) *Waveform {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	ta, oka := a.CrossingTime(vth)
+	tb, okb := b.CrossingTime(vth)
+	switch {
+	case !oka:
+		return a
+	case !okb:
+		return b
+	case ta >= tb:
+		return a
+	default:
+		return b
+	}
+}
+
+// FitRamp reduces the waveform to an equivalent saturated ramp that
+// preserves the 50% crossing and the 20–80% slew, referenced to the
+// given rails. This is the canonical waveform simplification passed
+// between STA stages.
+func (w *Waveform) FitRamp(vlo, vhi float64) (*Waveform, error) {
+	mid := (vlo + vhi) / 2
+	t50, ok := w.CrossingTime(mid)
+	if !ok {
+		return nil, fmt.Errorf("waveform: cannot fit ramp, no 50%% crossing at %g V", mid)
+	}
+	v20 := vlo + 0.2*(vhi-vlo)
+	v80 := vlo + 0.8*(vhi-vlo)
+	if w.Dir == Falling {
+		v20, v80 = v80, v20
+	}
+	t20, ok1 := w.CrossingTime(v20)
+	t80, ok2 := w.CrossingTime(v80)
+	var slew float64
+	if ok1 && ok2 && t80 > t20 {
+		// Extrapolate 20-80 to full swing: full ramp = slew / 0.6.
+		slew = (t80 - t20) / 0.6
+	} else {
+		slew = 1e-12
+	}
+	var v0, v1 float64
+	if w.Dir == Rising {
+		v0, v1 = vlo, vhi
+	} else {
+		v0, v1 = vhi, vlo
+	}
+	return Ramp(t50-slew/2, slew, v0, v1), nil
+}

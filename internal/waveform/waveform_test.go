@@ -1,0 +1,277 @@
+package waveform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRampBasics(t *testing.T) {
+	w := Ramp(1e-9, 2e-9, 0, 3.3)
+	if w.Dir != Rising {
+		t.Error("0->3.3 must be rising")
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.At(1e-9); got != 0 {
+		t.Errorf("At(start) = %v", got)
+	}
+	if got := w.At(3e-9); math.Abs(got-3.3) > 1e-9 {
+		t.Errorf("At(end) = %v", got)
+	}
+	if got := w.At(2e-9); math.Abs(got-1.65) > 1e-12 {
+		t.Errorf("At(mid) = %v, want 1.65", got)
+	}
+	// Outside range holds boundary values.
+	if w.At(0) != 0 || w.At(10e-9) != 3.3 {
+		t.Error("boundary hold failed")
+	}
+}
+
+func TestFallingRamp(t *testing.T) {
+	w := Ramp(0, 1e-9, 3.3, 0)
+	if w.Dir != Falling {
+		t.Error("3.3->0 must be falling")
+	}
+	tc, ok := w.CrossingTime(1.65)
+	if !ok || math.Abs(tc-0.5e-9) > 1e-15 {
+		t.Errorf("falling 50%% crossing = %v, %v", tc, ok)
+	}
+}
+
+func TestCrossingTime(t *testing.T) {
+	w := Ramp(0, 3.3e-9, 0, 3.3) // 1 V/ns
+	for _, v := range []float64{0.2, 1.65, 3.0} {
+		tc, ok := w.CrossingTime(v)
+		if !ok {
+			t.Fatalf("no crossing at %v", v)
+		}
+		if math.Abs(tc-v*1e-9) > 1e-15 {
+			t.Errorf("crossing(%v) = %v, want %v", v, tc, v*1e-9)
+		}
+	}
+	if _, ok := w.CrossingTime(3.4); ok {
+		t.Error("crossing above final value must not exist")
+	}
+	// Crossing below start is immediate.
+	tc, ok := w.CrossingTime(-0.1)
+	if !ok || tc != 0 {
+		t.Errorf("crossing below start: %v %v", tc, ok)
+	}
+}
+
+func TestDelayError(t *testing.T) {
+	w := Ramp(0, 1e-9, 0, 1.0)
+	if _, err := w.Delay(1.65); err == nil {
+		t.Error("expected error for unreached threshold")
+	}
+	d, err := w.Delay(0.5)
+	if err != nil || math.Abs(d-0.5e-9) > 1e-15 {
+		t.Errorf("Delay = %v, %v", d, err)
+	}
+}
+
+func TestSlew(t *testing.T) {
+	w := Ramp(0, 1e-9, 0, 3.3)
+	s, err := w.Slew(0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.8e-9) > 1e-15 {
+		t.Errorf("10-90 slew = %v, want 0.8ns", s)
+	}
+}
+
+func TestShiftedAndClone(t *testing.T) {
+	w := Ramp(0, 1e-9, 0, 3.3)
+	s := w.Shifted(5e-9)
+	if s.Start() != 5e-9 || s.End() != 6e-9 {
+		t.Errorf("shift: [%v %v]", s.Start(), s.End())
+	}
+	if w.Start() != 0 {
+		t.Error("Shifted must not mutate the original")
+	}
+	c := w.Clone()
+	c.Points[0].V = 1
+	if w.Points[0].V != 0 {
+		t.Error("Clone must deep-copy points")
+	}
+}
+
+func TestAppendCoercion(t *testing.T) {
+	w := &Waveform{Dir: Rising, Points: []Point{{0, 0}}}
+	w.Append(1e-9, 1.0)
+	w.Append(0.5e-9, 2.0) // out of order time: coerced forward
+	w.Append(2e-9, 1.5)   // non-monotone V: clamped to 2.0
+	if err := w.Validate(); err != nil {
+		t.Fatalf("coerced waveform should validate: %v", err)
+	}
+	if w.Points[2].V != 2.0 || w.Points[3].V != 2.0 {
+		t.Errorf("clamping failed: %+v", w.Points)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	bad := &Waveform{Dir: Rising, Points: []Point{{0, 0}, {1e-9, 2}, {2e-9, 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected monotonicity violation")
+	}
+	short := &Waveform{Dir: Rising, Points: []Point{{0, 0}}}
+	if err := short.Validate(); err == nil {
+		t.Error("expected too-few-points error")
+	}
+	dupT := &Waveform{Dir: Rising, Points: []Point{{0, 0}, {0, 1}}}
+	if err := dupT.Validate(); err == nil {
+		t.Error("expected non-increasing-time error")
+	}
+}
+
+func TestWorst(t *testing.T) {
+	early := Ramp(0, 1e-9, 0, 3.3)
+	late := Ramp(2e-9, 1e-9, 0, 3.3)
+	if Worst(early, late, 1.65) != late {
+		t.Error("worst must pick the later crossing")
+	}
+	if Worst(nil, late, 1.65) != late || Worst(early, nil, 1.65) != early {
+		t.Error("nil handling")
+	}
+	// A waveform that never crosses is worst.
+	stuck := Ramp(0, 1e-9, 0, 1.0)
+	if Worst(stuck, late, 1.65) != stuck {
+		t.Error("non-crossing waveform must be worst")
+	}
+}
+
+func TestFitRampPreserves50(t *testing.T) {
+	// Build a curved (piecewise) rising waveform.
+	w := &Waveform{Dir: Rising}
+	w.Append(0, 0)
+	w.Append(0.5e-9, 0.4)
+	w.Append(1.0e-9, 1.2)
+	w.Append(1.5e-9, 2.4)
+	w.Append(2.0e-9, 3.0)
+	w.Append(3.0e-9, 3.3)
+	fit, err := w.FitRamp(0, 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t50w, _ := w.CrossingTime(1.65)
+	t50f, _ := fit.CrossingTime(1.65)
+	if math.Abs(t50w-t50f) > 1e-14 {
+		t.Errorf("50%% crossing moved: %v -> %v", t50w, t50f)
+	}
+	if fit.V0() != 0 || fit.V1() != 3.3 {
+		t.Errorf("fit rails: %v %v", fit.V0(), fit.V1())
+	}
+}
+
+func TestFitRampFalling(t *testing.T) {
+	w := Ramp(1e-9, 2e-9, 3.3, 0)
+	fit, err := w.FitRamp(0, 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Dir != Falling {
+		t.Error("fit must preserve direction")
+	}
+	t50w, _ := w.CrossingTime(1.65)
+	t50f, _ := fit.CrossingTime(1.65)
+	if math.Abs(t50w-t50f) > 1e-14 {
+		t.Errorf("50%% crossing moved: %v -> %v", t50w, t50f)
+	}
+}
+
+func TestFitRampNoCrossing(t *testing.T) {
+	w := Ramp(0, 1e-9, 0, 1.0)
+	if _, err := w.FitRamp(0, 3.3); err == nil {
+		t.Error("expected error: waveform never reaches 50% of rails")
+	}
+}
+
+func TestOppositeDirection(t *testing.T) {
+	if Rising.Opposite() != Falling || Falling.Opposite() != Rising {
+		t.Error("Opposite broken")
+	}
+	if Rising.String() != "rise" || Falling.String() != "fall" {
+		t.Error("String broken")
+	}
+}
+
+// Property: At() is monotone in t for any randomly-built valid rising
+// waveform, and CrossingTime is consistent with At.
+func TestQuickMonotoneAt(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := &Waveform{Dir: Rising}
+		tAcc, vAcc := 0.0, 0.0
+		w.Append(tAcc, vAcc)
+		for i := 0; i < 10; i++ {
+			tAcc += rng.Float64() * 1e-9
+			vAcc += rng.Float64() * 0.5
+			w.Append(tAcc, vAcc)
+		}
+		if err := w.Validate(); err != nil {
+			return false
+		}
+		prev := math.Inf(-1)
+		for x := -1e-9; x < tAcc+1e-9; x += tAcc / 50 {
+			v := w.At(x)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		// CrossingTime consistency: At(CrossingTime(v)) ≈ v.
+		target := vAcc * rng.Float64()
+		tc, ok := w.CrossingTime(target)
+		if !ok {
+			return target > vAcc
+		}
+		return math.Abs(w.At(tc)-target) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Worst is commutative up to tie-breaking and never returns a
+// waveform with an earlier crossing than either input.
+func TestQuickWorstIsWorst(t *testing.T) {
+	f := func(a8, b8 uint8) bool {
+		ta := float64(a8) * 1e-11
+		tb := float64(b8) * 1e-11
+		wa := Ramp(ta, 1e-9, 0, 3.3)
+		wb := Ramp(tb, 1e-9, 0, 3.3)
+		w := Worst(wa, wb, 1.65)
+		cw, _ := w.CrossingTime(1.65)
+		ca, _ := wa.CrossingTime(1.65)
+		cb, _ := wb.CrossingTime(1.65)
+		return cw >= ca && cw >= cb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepAt(t *testing.T) {
+	w := StepAt(1e-9, 3.3, 0)
+	if w.Dir != Falling {
+		t.Error("step down must be falling")
+	}
+	tc, ok := w.CrossingTime(1.65)
+	if !ok || math.Abs(tc-1e-9) > 1e-14 {
+		t.Errorf("step crossing: %v %v", tc, ok)
+	}
+}
+
+func TestStringDoesNotPanic(t *testing.T) {
+	w := &Waveform{Dir: Rising}
+	for i := 0; i < 12; i++ {
+		w.Append(float64(i)*1e-10, float64(i)*0.2)
+	}
+	if s := w.String(); s == "" {
+		t.Error("empty String()")
+	}
+}
