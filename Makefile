@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all check vet build test race bench bench-json clean
+
+all: check
+
+# The full verification gate: vet, build, tests, and the race detector
+# on the concurrency-sensitive packages.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with worker concurrency and the
+# shared telemetry instruments.
+race:
+	$(GO) test -race ./internal/core/ ./internal/delaycalc/ ./internal/obs/
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Machine-readable five-mode benchmark table (BENCH_pr1.json format).
+bench-json:
+	$(GO) run ./cmd/xtalksta -preset s35932 -scale 0.05 -json BENCH_pr1.json
+
+clean:
+	$(GO) clean ./...

@@ -41,6 +41,7 @@ import (
 	"xtalksta/internal/liberty"
 	"xtalksta/internal/netlist"
 	"xtalksta/internal/noise"
+	"xtalksta/internal/obs"
 	"xtalksta/internal/opt"
 	"xtalksta/internal/pathsim"
 	"xtalksta/internal/report"
@@ -70,6 +71,38 @@ type AnalysisResult = core.Result
 
 // PathStep is one hop of a reported critical path.
 type PathStep = core.PathStep
+
+// Observer receives per-pass progress callbacks from a running
+// analysis (set it on AnalysisOptions.Observer). See core.Observer for
+// the threading contract.
+type Observer = core.Observer
+
+// PassStat is the per-pass work breakdown delivered to an Observer and
+// recorded on AnalysisResult.PassStats.
+type PassStat = core.PassStat
+
+// MetricsRegistry is a race-safe registry of named counters, gauges and
+// histograms. Hand the same registry to AnalysisOptions.Metrics,
+// layout.Options.Metrics and GoldenConfig.Metrics to aggregate the
+// whole flow; write it out with its WriteJSON method.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Tracer records timed spans; pair it with a TraceSink such as
+// ChromeTrace to export a chrome://tracing-compatible profile.
+type Tracer = obs.Tracer
+
+// TraceSink consumes trace events from a Tracer.
+type TraceSink = obs.Sink
+
+// ChromeTrace is a TraceSink buffering events for Chrome trace_event
+// JSON export (open the file in chrome://tracing or Perfetto).
+type ChromeTrace = obs.ChromeTrace
+
+// NewTracer returns a tracer feeding the sink.
+func NewTracer(sink TraceSink) *Tracer { return obs.NewTracer(sink) }
 
 // GoldenConfig tunes the golden (transistor-level, aggressor-aligned)
 // validation of a path.
@@ -259,10 +292,19 @@ func (d *Design) Analyze(opts AnalysisOptions) (*AnalysisResult, error) {
 // The characterization cache is cleared before each mode so the
 // reported runtimes are standalone, as in the paper's tables.
 func (d *Design) AnalyzeAll() ([]*AnalysisResult, error) {
+	return d.AnalyzeAllOpts(AnalysisOptions{})
+}
+
+// AnalyzeAllOpts is AnalyzeAll with shared per-mode options: the
+// Mode field is overridden per run, everything else (Workers, Metrics,
+// Trace, Observer, ...) is passed through.
+func (d *Design) AnalyzeAllOpts(base AnalysisOptions) ([]*AnalysisResult, error) {
 	var out []*AnalysisResult
 	for _, m := range Modes() {
 		d.Calc.ClearCache()
-		res, err := d.Analyze(AnalysisOptions{Mode: m})
+		opts := base
+		opts.Mode = m
+		res, err := d.Analyze(opts)
 		if err != nil {
 			return nil, fmt.Errorf("xtalksta: %s: %w", m, err)
 		}
@@ -416,7 +458,14 @@ func (d *Design) GoldenPath(path []PathStep, cfg GoldenConfig) (*GoldenOutcome, 
 // when withGolden is set, the golden simulation of the iterative
 // analysis's longest path.
 func (d *Design) PaperTable(title string, withGolden bool) (*Table, error) {
-	results, err := d.AnalyzeAll()
+	return d.PaperTableOpts(title, withGolden, AnalysisOptions{})
+}
+
+// PaperTableOpts is PaperTable with shared per-mode analysis options
+// (Mode is overridden per run); the golden simulation reuses the
+// options' Metrics and Trace.
+func (d *Design) PaperTableOpts(title string, withGolden bool, base AnalysisOptions) (*Table, error) {
+	results, err := d.AnalyzeAllOpts(base)
 	if err != nil {
 		return nil, err
 	}
@@ -441,7 +490,7 @@ func (d *Design) PaperTable(title string, withGolden bool) (*Table, error) {
 			(results[2].LongestPath-results[0].LongestPath)*1e9))
 	}
 	if withGolden && iterRes != nil && len(iterRes.Path) >= 2 {
-		g, err := d.GoldenPath(iterRes.Path, GoldenConfig{})
+		g, err := d.GoldenPath(iterRes.Path, GoldenConfig{Metrics: base.Metrics, Trace: base.Trace})
 		if err != nil {
 			return nil, fmt.Errorf("xtalksta: golden validation: %w", err)
 		}

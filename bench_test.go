@@ -415,3 +415,38 @@ func BenchmarkAblationIntegrator(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTelemetryOverhead: the same analysis bare, with an attached
+// metrics registry, and with registry + trace + no-op observer. The
+// instrumented runs must stay within noise of the bare run — the hot
+// path is one atomic add per event either way.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	d := benchDesign(b, xtalksta.S35932, benchScale())
+	run := func(b *testing.B, opts xtalksta.AnalysisOptions) {
+		b.Helper()
+		opts.Mode = xtalksta.Iterative
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Analyze(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, xtalksta.AnalysisOptions{}) })
+	b.Run("metrics", func(b *testing.B) {
+		run(b, xtalksta.AnalysisOptions{Metrics: xtalksta.NewMetricsRegistry()})
+	})
+	b.Run("metrics+trace+observer", func(b *testing.B) {
+		run(b, xtalksta.AnalysisOptions{
+			Metrics:  xtalksta.NewMetricsRegistry(),
+			Trace:    xtalksta.NewTracer(&xtalksta.ChromeTrace{}),
+			Observer: nopObserver{},
+		})
+	})
+}
+
+// nopObserver measures the observer dispatch cost alone.
+type nopObserver struct{}
+
+func (nopObserver) PassStarted(int, xtalksta.Mode) {}
+func (nopObserver) PassFinished(xtalksta.PassStat) {}

@@ -9,16 +9,28 @@
 //
 // With -mode, a single analysis runs and the critical path is printed;
 // without it, all five analyses run and the table is rendered.
+//
+// Observability: -metrics dumps the engine's counter registry as JSON,
+// -trace writes a Chrome trace_event profile (open in chrome://tracing
+// or Perfetto), -cpuprofile/-memprofile write pprof profiles, -v prints
+// per-pass progress to stderr, and -json writes the all-modes result
+// summary as machine-readable JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"xtalksta"
 	"xtalksta/internal/circuitgen"
+	"xtalksta/internal/netlist"
 	"xtalksta/internal/vcd"
 )
 
@@ -27,6 +39,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xtalksta:", err)
 		os.Exit(1)
 	}
+}
+
+// progressObserver prints per-pass progress lines to stderr (-v). The
+// engine guarantees the callbacks fire on the driver goroutine only, so
+// no locking is needed.
+type progressObserver struct{ start time.Time }
+
+func (p *progressObserver) PassStarted(pass int, mode xtalksta.Mode) {
+	fmt.Fprintf(os.Stderr, "[%8.3fs] pass %d (%s) started\n",
+		time.Since(p.start).Seconds(), pass, mode)
+}
+
+func (p *progressObserver) PassFinished(st xtalksta.PassStat) {
+	fmt.Fprintf(os.Stderr, "[%8.3fs] pass %d (%s) done in %v: longest %.3f ns, %d arcs, %d wires recalculated, %d skipped\n",
+		time.Since(p.start).Seconds(), st.Pass, st.Mode, st.Wall.Round(time.Millisecond),
+		st.LongestPath*1e9, st.ArcEvaluations, st.RecalculatedWires, st.EsperanceSkips)
 }
 
 func run() error {
@@ -48,10 +76,81 @@ func run() error {
 		noiseFlag = flag.Bool("noise", false, "print the crosstalk glitch (functional noise) report")
 		fix       = flag.Bool("fix", false, "run the gate-sizing optimizer against -clock (requires -mode and -clock)")
 		goldenVCD = flag.String("goldenvcd", "", "with -golden: dump the aligned path waveforms to this VCD file")
+
+		workers     = flag.Int("workers", 0, "worker goroutines per BFS level (0/1 = sequential)")
+		metricsPath = flag.String("metrics", "", "write the metrics registry as JSON to this file")
+		tracePath   = flag.String("trace", "", "write a Chrome trace_event profile to this file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		verbose     = flag.Bool("v", false, "print per-pass progress to stderr")
+		jsonPath    = flag.String("json", "", "write the all-modes result summary as JSON to this file (table mode only)")
 	)
 	flag.Parse()
 
-	d, title, err := buildDesign(*benchPath, *spefPath, *preset, *scale, *cells, *dffs, *depth, *seed)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Telemetry plumbing: one registry and one trace buffer shared by
+	// layout, engine and golden simulation; flushed to disk on the way
+	// out whatever happened in between.
+	var reg *xtalksta.MetricsRegistry
+	if *metricsPath != "" {
+		reg = xtalksta.NewMetricsRegistry()
+	}
+	var chrome *xtalksta.ChromeTrace
+	var tracer *xtalksta.Tracer
+	if *tracePath != "" {
+		chrome = &xtalksta.ChromeTrace{}
+		tracer = xtalksta.NewTracer(chrome)
+	}
+	defer func() {
+		if reg != nil {
+			if err := writeFileWith(*metricsPath, reg.WriteJSON); err != nil {
+				fmt.Fprintln(os.Stderr, "xtalksta: writing metrics:", err)
+			}
+		}
+		if chrome != nil {
+			if err := writeFileWith(*tracePath, chrome.WriteJSON); err != nil {
+				fmt.Fprintln(os.Stderr, "xtalksta: writing trace:", err)
+			}
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xtalksta: writing heap profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "xtalksta: writing heap profile:", err)
+			}
+		}
+	}()
+
+	aopts := xtalksta.AnalysisOptions{
+		Esperance: *esperance,
+		Workers:   *workers,
+		Metrics:   reg,
+		Trace:     tracer,
+	}
+	if *verbose {
+		aopts.Observer = &progressObserver{start: time.Now()}
+	}
+
+	bopts := xtalksta.Defaults()
+	bopts.Layout.Metrics = reg
+	bopts.Layout.Trace = tracer
+	d, title, err := buildDesign(*benchPath, *spefPath, *preset, *scale, *cells, *dffs, *depth, *seed, bopts)
 	if err != nil {
 		return err
 	}
@@ -78,11 +177,12 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		aopts.Mode = m
 		if *fix {
 			if *clock <= 0 {
 				return fmt.Errorf("-fix requires -clock")
 			}
-			res, err := d.FixTiming(xtalksta.AnalysisOptions{Mode: m}, *clock*1e-9, xtalksta.SizingConfig{})
+			res, err := d.FixTiming(aopts, *clock*1e-9, xtalksta.SizingConfig{})
 			if err != nil {
 				return err
 			}
@@ -98,13 +198,13 @@ func run() error {
 			return nil
 		}
 		if *clock > 0 {
-			rep, err := d.Report(xtalksta.AnalysisOptions{Mode: m, Esperance: *esperance}, *clock*1e-9)
+			rep, err := d.Report(aopts, *clock*1e-9)
 			if err != nil {
 				return err
 			}
 			return rep.Render(os.Stdout, *topk)
 		}
-		res, err := d.Analyze(xtalksta.AnalysisOptions{Mode: m, Esperance: *esperance})
+		res, err := d.Analyze(aopts)
 		if err != nil {
 			return err
 		}
@@ -120,7 +220,7 @@ func run() error {
 			fmt.Printf("  %8.3f ns  %-5s %-20s via %s\n", step.Arrival*1e9, step.Dir, step.Net, cell)
 		}
 		if *golden {
-			g, err := d.GoldenPath(res.Path, xtalksta.GoldenConfig{})
+			g, err := d.GoldenPath(res.Path, xtalksta.GoldenConfig{Metrics: reg, Trace: tracer})
 			if err != nil {
 				return err
 			}
@@ -145,9 +245,14 @@ func run() error {
 		return nil
 	}
 
-	table, err := d.PaperTable(title, *golden)
+	table, err := d.PaperTableOpts(title, *golden, aopts)
 	if err != nil {
 		return err
+	}
+	if *jsonPath != "" {
+		if err := writeTableJSON(*jsonPath, title, st, table); err != nil {
+			return err
+		}
 	}
 	if *markdown {
 		return table.Markdown(os.Stdout)
@@ -164,7 +269,62 @@ func run() error {
 	return nil
 }
 
-func buildDesign(benchPath, spefPath, preset string, scale float64, cells, dffs, depth int, seed int64) (*xtalksta.Design, string, error) {
+// writeFileWith creates path and streams it through the given writer
+// function.
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTableJSON emits the machine-readable all-modes summary (-json).
+func writeTableJSON(path, title string, st netlist.Stats, table *xtalksta.Table) error {
+	type row struct {
+		Method      string  `json:"method"`
+		DelayNs     float64 `json:"delay_ns"`
+		RuntimeMs   float64 `json:"runtime_ms"`
+		Passes      int     `json:"passes"`
+		Evaluations int64   `json:"arc_evaluations"`
+	}
+	out := struct {
+		Circuit  string  `json:"circuit"`
+		Cells    int     `json:"cells"`
+		DFFs     int     `json:"dffs"`
+		Nets     int     `json:"nets"`
+		Depth    int     `json:"logic_depth"`
+		Rows     []row   `json:"rows"`
+		GoldenNs float64 `json:"golden_ns,omitempty"`
+	}{Circuit: title, Cells: st.Cells, DFFs: st.DFFs, Nets: st.Nets,
+		Depth: st.LogicDepth, GoldenNs: table.GoldenNs}
+	for _, r := range table.Rows {
+		out.Rows = append(out.Rows, row{
+			Method:      r.Method,
+			DelayNs:     r.DelayNs,
+			RuntimeMs:   float64(r.Runtime) / 1e6,
+			Passes:      r.Passes,
+			Evaluations: r.Evaluations,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func buildDesign(benchPath, spefPath, preset string, scale float64, cells, dffs, depth int, seed int64, bopts xtalksta.BuildOptions) (*xtalksta.Design, string, error) {
 	switch {
 	case benchPath != "":
 		f, err := os.Open(benchPath)
@@ -178,14 +338,14 @@ func buildDesign(benchPath, spefPath, preset string, scale float64, cells, dffs,
 				return nil, "", err
 			}
 			defer sf.Close()
-			d, err := xtalksta.FromBenchAndSPEF(benchPath, f, sf, xtalksta.Defaults())
+			d, err := xtalksta.FromBenchAndSPEF(benchPath, f, sf, bopts)
 			return d, benchPath, err
 		}
-		d, err := xtalksta.FromBench(benchPath, f, xtalksta.Defaults())
+		d, err := xtalksta.FromBench(benchPath, f, bopts)
 		return d, benchPath, err
 	case preset != "":
 		p := xtalksta.Preset(strings.ToLower(preset))
-		d, err := xtalksta.GeneratePreset(p, scale, xtalksta.Defaults())
+		d, err := xtalksta.GeneratePreset(p, scale, bopts)
 		title := fmt.Sprintf("%s (scale %.2f)", preset, scale)
 		return d, title, err
 	case cells > 0:
@@ -194,7 +354,7 @@ func buildDesign(benchPath, spefPath, preset string, scale float64, cells, dffs,
 		}
 		d, err := xtalksta.Generate(circuitgen.Params{
 			Seed: seed, Cells: cells, DFFs: dffs, Depth: depth, ClockFanout: 8,
-		}, xtalksta.Defaults())
+		}, bopts)
 		title := fmt.Sprintf("synthetic %d cells (seed %d)", cells, seed)
 		return d, title, err
 	default:

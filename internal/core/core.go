@@ -24,12 +24,14 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"xtalksta/internal/ccc"
 	"xtalksta/internal/delaycalc"
 	"xtalksta/internal/device"
 	"xtalksta/internal/netlist"
+	"xtalksta/internal/obs"
 	"xtalksta/internal/waveform"
 )
 
@@ -107,6 +109,18 @@ type Options struct {
 	// 1; clock-tree buffers are additionally scaled by the library's
 	// ClockBufMult). Used by the timing-driven sizing optimizer.
 	CellSizes map[netlist.CellID]float64
+	// Metrics, when set, receives engine-wide counters (arc
+	// evaluations, Newton iterations, coupling decisions, esperance
+	// skips, per-level worker utilization, ...) under the obs.M* names.
+	// Counters accumulate across runs sharing a registry.
+	Metrics *obs.Registry
+	// Trace, when set, receives per-pass/per-level/per-worker spans;
+	// pair it with an obs.ChromeTrace sink to render the run as a
+	// chrome://tracing timeline.
+	Trace *obs.Tracer
+	// Observer, when set, receives pass-progress callbacks on the
+	// driver goroutine (see the Observer threading contract).
+	Observer Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -194,6 +208,10 @@ type Result struct {
 	Path        []PathStep
 	// Passes counts full BFS sweeps (1 for the single-pass modes).
 	Passes int
+	// PassStats is the per-pass work/tightness breakdown, in pass
+	// order. For Iterative the LongestPath column is non-increasing up
+	// to delay-calculator quantization noise.
+	PassStats []PassStat
 	// Runtime is the wall-clock analysis time.
 	Runtime time.Duration
 	// ArcEvaluations counts delay-calculator requests; Simulations
@@ -214,6 +232,13 @@ type Engine struct {
 	opts  Options
 	info  []netInfo // by NetID-1
 	order []netlist.CellID
+	// Telemetry plumbing: m is never nil (unregistered instruments when
+	// Options.Metrics is nil); trace may be nil (no-op safe).
+	m          *engineMetrics
+	trace      *obs.Tracer
+	passStats  []PassStat
+	passRecalc atomic.Int64
+	passSkips  atomic.Int64
 	// earliestStart holds per-(net, dir) earliest transition-start
 	// bounds when Options.Windows is active (nil otherwise).
 	earliestStart [][2]float64
@@ -252,7 +277,14 @@ func NewEngine(c *netlist.Circuit, calc delaycalc.Evaluator, opts Options) (*Eng
 		Siz:   calc.Siz(),
 		opts:  opts,
 		order: order,
+		m:     newEngineMetrics(opts.Metrics),
+		trace: opts.Trace,
 	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	e.m.workers.Set(float64(workers))
 	if err := e.buildNetInfo(); err != nil {
 		return nil, err
 	}
@@ -373,6 +405,7 @@ func (e *Engine) Run() (*Result, error) {
 		return nil, err
 	}
 	res.Passes = passes
+	res.PassStats = append([]PassStat(nil), e.passStats...)
 	e.finish(res, st)
 
 	res.Runtime = time.Since(start)

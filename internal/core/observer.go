@@ -1,0 +1,148 @@
+package core
+
+import (
+	"time"
+
+	"xtalksta/internal/delaycalc"
+	"xtalksta/internal/obs"
+)
+
+// PassStat is the per-pass breakdown of one analysis: how much work a
+// BFS sweep did and where the longest-path bound stood afterwards.
+type PassStat struct {
+	// Pass is 1-based. For Iterative, pass 1 is the one-step seed pass
+	// and later passes are refinements.
+	Pass int
+	// Mode is the sweep rule the pass executed (OneStep for the
+	// iterative seed pass).
+	Mode Mode
+	// ArcEvaluations / Simulations / NewtonIterations are the delay-
+	// calculator work deltas attributable to this pass.
+	ArcEvaluations   int64
+	Simulations      int64
+	NewtonIterations int64
+	// RecalculatedWires counts nets whose arcs were actually
+	// re-evaluated (Esperance skips excluded).
+	RecalculatedWires int64
+	// EsperanceSkips counts nets carried over from the previous pass.
+	EsperanceSkips int64
+	// LongestPath is the worst endpoint arrival after this pass.
+	LongestPath float64
+	// Wall is the pass's wall-clock time.
+	Wall time.Duration
+}
+
+// Observer receives progress callbacks from a running analysis, so
+// callers can surface progress without polling.
+//
+// Threading contract: both callbacks fire on the goroutine that called
+// Run/Report (the analysis driver), never on level-worker goroutines,
+// and never concurrently — an Observer needs no internal locking as
+// long as it is used by one analysis at a time. The Metrics registry
+// and Trace sink, by contrast, ARE written from worker goroutines and
+// must stay race-safe (the obs implementations are).
+type Observer interface {
+	// PassStarted fires before each BFS sweep.
+	PassStarted(pass int, mode Mode)
+	// PassFinished fires after each sweep with its work breakdown,
+	// including the longest path so far.
+	PassFinished(stat PassStat)
+}
+
+// engineMetrics holds the engine's resolved registry instruments. With
+// a nil Options.Metrics the instruments are live but unregistered, so
+// the hot path is identical either way (one atomic add per event).
+type engineMetrics struct {
+	arcEvals, sims, newtonIters, newtonFails               *obs.Counter
+	couplingActive, couplingGrounded, couplingWindowPruned *obs.Counter
+	passes, recalcWires, esperanceSkips                    *obs.Counter
+	levels, parallelLevels, workerCells, seqCells          *obs.Counter
+	levelCells                                             *obs.Histogram
+	workers                                                *obs.Gauge
+}
+
+func newEngineMetrics(r *obs.Registry) *engineMetrics {
+	return &engineMetrics{
+		arcEvals:              r.Counter(obs.MArcEvaluations),
+		sims:                  r.Counter(obs.MSimulations),
+		newtonIters:           r.Counter(obs.MNewtonIters),
+		newtonFails:           r.Counter(obs.MNewtonFailures),
+		couplingActive:        r.Counter(obs.MCouplingActive),
+		couplingGrounded:      r.Counter(obs.MCouplingGrounded),
+		couplingWindowPruned:  r.Counter(obs.MCouplingWindowPruned),
+		passes:                r.Counter(obs.MPasses),
+		recalcWires:           r.Counter(obs.MRecalcWires),
+		esperanceSkips:        r.Counter(obs.MEsperanceSkips),
+		levels:                r.Counter(obs.MLevels),
+		parallelLevels:        r.Counter(obs.MParallelLevels),
+		workerCells:           r.Counter(obs.MWorkerCells),
+		seqCells:              r.Counter(obs.MSequentialCells),
+		levelCells:            r.Histogram(obs.MLevelCells),
+		workers:               r.Gauge(obs.MWorkers),
+	}
+}
+
+// calcCounters snapshots the evaluator's work counters, preferring the
+// detailed CounterProvider view when the evaluator offers one.
+func (e *Engine) calcCounters() delaycalc.Counters {
+	if cp, ok := e.Calc.(delaycalc.CounterProvider); ok {
+		return cp.Counters()
+	}
+	req, sims := e.Calc.Stats()
+	return delaycalc.Counters{Requests: req, Simulations: sims}
+}
+
+// passHandle carries the start-of-pass snapshots between beginPass and
+// endPass.
+type passHandle struct {
+	pass  int
+	mode  Mode
+	start time.Time
+	c0    delaycalc.Counters
+	span  *obs.Span
+}
+
+// beginPass opens the telemetry scope of one BFS sweep (driver
+// goroutine only).
+func (e *Engine) beginPass(pass int, mode Mode) *passHandle {
+	e.passRecalc.Store(0)
+	e.passSkips.Store(0)
+	if e.opts.Observer != nil {
+		e.opts.Observer.PassStarted(pass, mode)
+	}
+	return &passHandle{
+		pass:  pass,
+		mode:  mode,
+		start: time.Now(),
+		c0:    e.calcCounters(),
+		span:  e.trace.Begin("pass", 0).Arg("pass", pass).Arg("mode", mode.String()),
+	}
+}
+
+// endPass closes the scope, records the PassStat and returns the pass's
+// longest-path bound.
+func (e *Engine) endPass(ph *passHandle, st []netState) float64 {
+	longest, _ := e.longest(st)
+	d := e.calcCounters().Sub(ph.c0)
+	stat := PassStat{
+		Pass:              ph.pass,
+		Mode:              ph.mode,
+		ArcEvaluations:    d.Requests,
+		Simulations:       d.Simulations,
+		NewtonIterations:  d.NewtonIterations,
+		RecalculatedWires: e.passRecalc.Load(),
+		EsperanceSkips:    e.passSkips.Load(),
+		LongestPath:       longest,
+		Wall:              time.Since(ph.start),
+	}
+	e.passStats = append(e.passStats, stat)
+	e.m.passes.Inc()
+	ph.span.Arg("longest_ns", longest*1e9).
+		Arg("arcs", d.Requests).
+		Arg("recalc_wires", stat.RecalculatedWires).
+		End()
+	if e.opts.Observer != nil {
+		e.opts.Observer.PassFinished(stat)
+	}
+	return longest
+}

@@ -110,45 +110,71 @@ func (e *Engine) netCalculatedAt(neighbor netlist.NetID, outRank int) bool {
 }
 
 // runLevels executes the cells of each level, optionally with workers.
-func (e *Engine) runLevels(levels [][]netlist.CellID, workers int,
+// phase labels the sweep ("clock" or "main") in trace spans. On error
+// the claim loop raises an abort flag so idle workers stop claiming
+// cells instead of draining the rest of the level.
+func (e *Engine) runLevels(phase string, levels [][]netlist.CellID, workers int,
 	do func(cell *netlist.Cell) error) error {
-	for _, level := range levels {
+	for lv, level := range levels {
 		if len(level) == 0 {
 			continue
 		}
+		e.m.levels.Inc()
+		e.m.levelCells.Observe(float64(len(level)))
+		span := e.trace.Begin("level", 0).
+			Arg("phase", phase).Arg("level", lv).Arg("cells", len(level))
 		if workers <= 1 || len(level) < 2*workers {
+			e.m.seqCells.Add(int64(len(level)))
 			for _, cid := range level {
 				if err := do(e.C.Cell(cid)); err != nil {
+					span.Arg("error", true).End()
 					return err
 				}
 			}
+			span.End()
 			continue
 		}
+		e.m.parallelLevels.Inc()
 		var next int64 = -1
+		var abort atomic.Bool
 		var wg sync.WaitGroup
 		errs := make([]error, workers)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				wspan := e.trace.Begin("worker", w+1).
+					Arg("phase", phase).Arg("level", lv)
+				cells := 0
+				defer func() {
+					e.m.workerCells.Add(int64(cells))
+					wspan.Arg("cells", cells).End()
+				}()
 				for {
+					if abort.Load() {
+						return
+					}
 					i := atomic.AddInt64(&next, 1)
 					if i >= int64(len(level)) {
 						return
 					}
 					if err := do(e.C.Cell(level[i])); err != nil {
 						errs[w] = err
+						abort.Store(true)
 						return
 					}
+					cells++
 				}
 			}(w)
 		}
 		wg.Wait()
 		for _, err := range errs {
 			if err != nil {
+				span.Arg("error", true).End()
 				return err
 			}
 		}
+		span.End()
 	}
 	return nil
 }

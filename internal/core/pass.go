@@ -52,7 +52,7 @@ func (e *Engine) pass(mode Mode, quietPrev [][2]float64, critical []bool, prev [
 	doCell := func(cell *netlist.Cell) error {
 		return e.processCell(mode, st, quietPrev, critical, cell)
 	}
-	if err := e.runLevels(e.clockLevels, e.opts.Workers, doCell); err != nil {
+	if err := e.runLevels("clock", e.clockLevels, e.opts.Workers, doCell); err != nil {
 		return nil, err
 	}
 
@@ -83,7 +83,7 @@ func (e *Engine) pass(mode Mode, quietPrev [][2]float64, critical []bool, prev [
 	}
 
 	// Phase 2: combinational sweep, level by level.
-	if err := e.runLevels(e.mainLevels, e.opts.Workers, doCell); err != nil {
+	if err := e.runLevels("main", e.mainLevels, e.opts.Workers, doCell); err != nil {
 		return nil, err
 	}
 	return st, nil
@@ -99,8 +99,12 @@ func (e *Engine) processCell(mode Mode, st []netState, quietPrev [][2]float64, c
 	if critical != nil && !critical[out-1] {
 		// Esperance skip: the net keeps the previous pass's state
 		// (seeded in pass), which is a valid upper bound.
+		e.passSkips.Add(1)
+		e.m.esperanceSkips.Inc()
 		return nil
 	}
+	e.passRecalc.Add(1)
+	e.m.recalcWires.Inc()
 
 	for dOut := 0; dOut < 2; dOut++ {
 		dIn := 1 - dOut // inverting primitives
@@ -240,15 +244,22 @@ func (e *Engine) evalArc(mode Mode, st []netState, quietPrev [][2]float64,
 				}
 			}
 			couples := coupling.ShouldCouple(calculated, quietAt, tBCS)
+			pruned := false
 			if couples && e.earliestStart != nil && quietPrev != nil {
 				// Windows extension: an aggressor that cannot become
 				// active before the victim is done cannot couple.
 				if e.earliestStart[cp.Other-1][dAggressor] >= victimQuiet {
-					couples = false
+					couples, pruned = false, true
 				}
 			}
-			if couples {
+			switch {
+			case couples:
 				ccActive += cp.C
+				e.m.couplingActive.Inc()
+			case pruned:
+				e.m.couplingWindowPruned.Inc()
+			default:
+				e.m.couplingGrounded.Inc()
 			}
 		}
 		// Step 3: worst-case waveform with the active subset coupling.

@@ -151,15 +151,39 @@ func (e *Engine) Report(period float64) (*TimingReport, error) {
 // finalState produces the final-pass netState of the configured
 // analysis and the number of BFS passes it took — the single place that
 // implements the per-mode pass control (Run and Report both build on
-// it).
+// it). It also owns the run-level telemetry scope: the analysis span,
+// the per-pass stats and the delay-calculator counter deltas pushed
+// into the metrics registry.
 func (e *Engine) finalState() ([]netState, int, error) {
+	e.passStats = nil
+	c0 := e.calcCounters()
+	span := e.trace.Begin("analysis", 0).Arg("mode", e.opts.Mode.String())
+	st, passes, err := e.runPasses()
+	span.Arg("passes", passes).End()
+	d := e.calcCounters().Sub(c0)
+	e.m.arcEvals.Add(d.Requests)
+	e.m.sims.Add(d.Simulations)
+	e.m.newtonIters.Add(d.NewtonIterations)
+	e.m.newtonFails.Add(d.NewtonFailures)
+	return st, passes, err
+}
+
+// runPasses implements the per-mode pass control.
+func (e *Engine) runPasses() ([]netState, int, error) {
 	switch e.opts.Mode {
 	case BestCase, StaticDoubled, WorstCase, OneStep:
+		ph := e.beginPass(1, e.opts.Mode)
 		st, err := e.pass(e.opts.Mode, nil, nil, nil)
-		return st, 1, err
+		if err != nil {
+			return nil, 0, err
+		}
+		e.endPass(ph, st)
+		return st, 1, nil
 	case Iterative:
 		if e.opts.Windows {
+			sp := e.trace.Begin("min-pass", 0)
 			early, err := e.minPass()
+			sp.End()
 			if err != nil {
 				return nil, 0, err
 			}
@@ -167,23 +191,25 @@ func (e *Engine) finalState() ([]netState, int, error) {
 		} else {
 			e.earliestStart = nil
 		}
+		ph := e.beginPass(1, OneStep)
 		st, err := e.pass(OneStep, nil, nil, nil)
 		if err != nil {
 			return nil, 0, err
 		}
+		delay := e.endPass(ph, st)
 		passes := 1
-		delay, _ := e.longest(st)
 		for passes < e.opts.MaxPasses {
 			var critical []bool
 			if e.opts.Esperance {
 				critical = e.criticalNets(st, delay)
 			}
+			ph := e.beginPass(passes+1, Iterative)
 			st2, err := e.pass(Iterative, snapshotQuiet(st), critical, st)
 			if err != nil {
 				return nil, 0, err
 			}
 			passes++
-			newDelay, _ := e.longest(st2)
+			newDelay := e.endPass(ph, st2)
 			st = st2
 			if newDelay >= delay-1e-12 {
 				break

@@ -48,6 +48,64 @@ func TestConcurrentEval(t *testing.T) {
 	}
 }
 
+// TestSingleFlightCountersDeterministic: a request set evaluated by
+// many goroutines at once must land on exactly the same counter totals
+// as the same set evaluated sequentially — concurrent misses on one
+// cache key must not duplicate the simulation (or its Newton
+// iterations). Run with -race.
+func TestSingleFlightCountersDeterministic(t *testing.T) {
+	reqs := make([]Request, 0, 12)
+	for i := 0; i < 12; i++ {
+		reqs = append(reqs, Request{
+			Kind:   netlist.NOR,
+			NIn:    2 + i%2,
+			Pin:    0,
+			Dir:    waveform.Direction(i % 2),
+			InSlew: 0.15e-9 * float64(1+i%3),
+			CLoad:  40e-15,
+		})
+	}
+
+	seq := newCalc(t, Options{})
+	for _, r := range reqs {
+		if _, err := seq.Eval(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := seq.Counters()
+	if want.NewtonIterations <= 0 {
+		t.Fatalf("sequential baseline recorded no Newton iterations: %+v", want)
+	}
+
+	const goroutines = 8
+	par := newCalc(t, Options{})
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, r := range reqs {
+				if _, err := par.Eval(r); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	got := par.Counters()
+	want.Requests *= goroutines // every goroutine issues the full set
+	if got != want {
+		t.Errorf("concurrent counters differ from sequential:\n  got  %+v\n  want %+v", got, want)
+	}
+}
+
 func TestClearCache(t *testing.T) {
 	c := newCalc(t, Options{})
 	if _, err := c.Eval(baseReq()); err != nil {

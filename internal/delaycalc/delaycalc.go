@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"xtalksta/internal/ccc"
 	"xtalksta/internal/coupling"
@@ -105,37 +106,62 @@ type Calculator struct {
 	Model  coupling.Model
 	opts   Options
 
-	mu    sync.Mutex
-	cache map[cacheKey]Result
+	mu       sync.Mutex
+	cache    map[cacheKey]Result
+	inflight map[cacheKey]*flight
 
-	// Stats counters (read via Stats).
-	requests, misses int64
+	// Work counters. Atomic (not mutex-guarded) so concurrent level
+	// workers never serialize on bookkeeping; read via Stats/Counters.
+	requests    atomic.Int64
+	misses      atomic.Int64
+	newtonIters atomic.Int64
+	newtonFails atomic.Int64
+}
+
+// flight is one in-progress characterization. Concurrent requests for
+// the same cache key wait on done instead of duplicating the stage
+// simulation (single-flight), which both saves work and makes the
+// Simulations counter deterministic under any worker count.
+type flight struct {
+	done chan struct{}
+	res  Result
+	err  error
 }
 
 // New builds a calculator for the process behind lib.
 func New(lib *device.Library, sizing ccc.Sizing, model coupling.Model, opts Options) *Calculator {
 	return &Calculator{
-		Lib:    lib,
-		Sizing: sizing,
-		Model:  model,
-		opts:   opts.withDefaults(),
-		cache:  make(map[cacheKey]Result),
+		Lib:      lib,
+		Sizing:   sizing,
+		Model:    model,
+		opts:     opts.withDefaults(),
+		cache:    make(map[cacheKey]Result),
+		inflight: make(map[cacheKey]*flight),
 	}
 }
 
 // Stats returns the number of requests served and the number that
 // required a fresh stage simulation.
 func (c *Calculator) Stats() (requests, simulations int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.requests, c.misses
+	return c.requests.Load(), c.misses.Load()
 }
 
 // ResetStats clears the counters (not the cache).
 func (c *Calculator) ResetStats() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.requests, c.misses = 0, 0
+	c.requests.Store(0)
+	c.misses.Store(0)
+	c.newtonIters.Store(0)
+	c.newtonFails.Store(0)
+}
+
+// Counters returns a point-in-time snapshot of all work counters.
+func (c *Calculator) Counters() Counters {
+	return Counters{
+		Requests:         c.requests.Load(),
+		Simulations:      c.misses.Load(),
+		NewtonIterations: c.newtonIters.Load(),
+		NewtonFailures:   c.newtonFails.Load(),
+	}
 }
 
 // ClearCache drops all characterized results. The experiment harness
@@ -213,7 +239,8 @@ func (c *Calculator) quantize(r Request) (cacheKey, Request) {
 	return k, q
 }
 
-// Eval evaluates a timing arc, consulting the cache.
+// Eval evaluates a timing arc, consulting the cache. Concurrent
+// requests that quantize to the same cache key share one simulation.
 func (c *Calculator) Eval(r Request) (Result, error) {
 	if err := c.validate(r); err != nil {
 		return Result{}, err
@@ -221,30 +248,39 @@ func (c *Calculator) Eval(r Request) (Result, error) {
 	if r.SizeMult <= 0 {
 		r.SizeMult = 1
 	}
+	c.requests.Add(1)
 	if c.opts.DisableCache {
-		c.mu.Lock()
-		c.requests++
-		c.misses++
-		c.mu.Unlock()
+		c.misses.Add(1)
 		return c.simulate(r)
 	}
 	key, q := c.quantize(r)
 	c.mu.Lock()
-	c.requests++
 	if res, ok := c.cache[key]; ok {
 		c.mu.Unlock()
 		return res, nil
 	}
-	c.misses++
+	if fl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-fl.done
+		return fl.res, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
 	c.mu.Unlock()
+	c.misses.Add(1)
 
 	res, err := c.simulate(q)
+	c.mu.Lock()
+	if err == nil {
+		c.cache[key] = res
+	}
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	fl.res, fl.err = res, err
+	close(fl.done)
 	if err != nil {
 		return Result{}, err
 	}
-	c.mu.Lock()
-	c.cache[key] = res
-	c.mu.Unlock()
 	return res, nil
 }
 
@@ -339,8 +375,11 @@ func (c *Calculator) simulate(r Request) (Result, error) {
 			Events:   events,
 		})
 		if err != nil {
+			c.newtonFails.Add(1)
 			return Result{}, fmt.Errorf("delaycalc: %s%d pin %d %s: %w", r.Kind, r.NIn, r.Pin, r.Dir, err)
 		}
+		c.newtonIters.Add(int64(res.NewtonIterations))
+		c.newtonFails.Add(int64(res.NewtonRetries))
 		tr, err := res.Trace(st.Far)
 		if err != nil {
 			return Result{}, err

@@ -23,6 +23,34 @@ type Evaluator interface {
 	Siz() ccc.Sizing
 }
 
+// Counters is a point-in-time snapshot of an evaluator's work
+// counters. Requests and Simulations mirror Stats; the Newton fields
+// expose the transistor-level solver effort behind the simulations.
+type Counters struct {
+	Requests         int64
+	Simulations      int64
+	NewtonIterations int64
+	NewtonFailures   int64
+}
+
+// Sub returns the counter deltas c − prev (work done since prev was
+// snapshotted).
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		Requests:         c.Requests - prev.Requests,
+		Simulations:      c.Simulations - prev.Simulations,
+		NewtonIterations: c.NewtonIterations - prev.NewtonIterations,
+		NewtonFailures:   c.NewtonFailures - prev.NewtonFailures,
+	}
+}
+
+// CounterProvider is the optional detailed-stats interface an Evaluator
+// may implement; the Calculator does. Evaluators without it (the LUT
+// library) fall back to the two-counter Stats pair.
+type CounterProvider interface {
+	Counters() Counters
+}
+
 // Proc implements Evaluator.
 func (c *Calculator) Proc() device.Process { return c.Lib.Proc }
 

@@ -16,11 +16,17 @@ import (
 	"xtalksta/internal/device"
 	"xtalksta/internal/elmore"
 	"xtalksta/internal/netlist"
+	"xtalksta/internal/obs"
 )
 
 // Options controls placement and routing geometry. All lengths are in
 // meters.
 type Options struct {
+	// Metrics, when non-nil, receives layout counters (nets routed,
+	// coupling pairs extracted, total wirelength).
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives place/route/extract spans.
+	Trace *obs.Tracer
 	// RowHeight is the placement row pitch (default 12 µm).
 	RowHeight float64
 	// BaseCellWidth and WidthPerPin size cells (default 4 µm + 1 µm/pin).
@@ -135,10 +141,18 @@ func Build(c *netlist.Circuit, opts Options) (*Layout, error) {
 			l.clockSinks[cell.Clock] = append(l.clockSinks[cell.Clock], cell.ID)
 		}
 	}
+	sp := opts.Trace.Begin("place", 0).Arg("cells", len(c.Cells))
 	l.place()
-	if err := l.route(); err != nil {
+	sp.End()
+	sp = opts.Trace.Begin("route", 0).Arg("nets", len(c.Nets))
+	err := l.route()
+	sp.Arg("trunk_fallbacks", l.TrunkFallbacks).End()
+	if err != nil {
 		return nil, err
 	}
+	opts.Metrics.Counter(obs.MLayoutNetsRouted).Add(int64(len(l.Trees)))
+	total, _ := l.WirelengthStats()
+	opts.Metrics.Gauge(obs.MLayoutWirelength).Set(total * 1e3)
 	return l, nil
 }
 
@@ -539,6 +553,8 @@ func adjacentOverlaps(segs []seg, minOverlap float64) map[couplingKey]float64 {
 // primary-output pad.
 func (l *Layout) Extract(proc device.Process, pinCap func(netlist.PinRef) float64, poCap float64) error {
 	c := l.Circuit
+	sp := l.Opts.Trace.Begin("extract", 0).Arg("nets", len(c.Nets))
+	defer sp.End()
 	// Wire R/C from lengths.
 	for _, n := range c.Nets {
 		nt, ok := l.Trees[n.ID]
@@ -599,6 +615,8 @@ func (l *Layout) Extract(proc device.Process, pinCap func(netlist.PinRef) float6
 		na.Par.Couplings = append(na.Par.Couplings, netlist.Coupling{Other: k.b, C: cc})
 		nb.Par.Couplings = append(nb.Par.Couplings, netlist.Coupling{Other: k.a, C: cc})
 	}
+	l.Opts.Metrics.Counter(obs.MLayoutCouplingPairs).Add(int64(len(overlaps)))
+	sp.Arg("coupling_pairs", len(overlaps))
 	// Deterministic coupling order.
 	for _, n := range c.Nets {
 		sort.Slice(n.Par.Couplings, func(i, j int) bool {

@@ -1,0 +1,38 @@
+package obs
+
+// Canonical metric names shared by the engine, the delay calculator,
+// the layout/extraction pipeline, the golden path simulator and the
+// CLIs. Keeping them here gives the metrics dump a single vocabulary
+// (see README.md "Observability" for meanings).
+const (
+	// Delay-calculator work (deltas accumulated per engine run).
+	MArcEvaluations = "arc_evaluations_total"
+	MSimulations    = "simulations_total"
+	MNewtonIters    = "newton_iterations_total"
+	MNewtonFailures = "newton_convergence_failures_total"
+
+	// Coupling decisions taken by the one-step/iterative classifier.
+	MCouplingActive       = "coupling_active_total"
+	MCouplingGrounded     = "coupling_grounded_total"
+	MCouplingWindowPruned = "coupling_window_pruned_total"
+
+	// Engine sweep structure.
+	MPasses          = "passes_total"
+	MRecalcWires     = "recalculated_wires_total"
+	MEsperanceSkips  = "esperance_skips_total"
+	MLevels          = "levels_total"
+	MParallelLevels  = "parallel_levels_total"
+	MWorkerCells     = "worker_cells_total"
+	MSequentialCells = "sequential_cells_total"
+	MWorkers         = "workers" // gauge
+	MLevelCells      = "level_cells"
+
+	// Layout / extraction.
+	MLayoutNetsRouted    = "layout_nets_routed_total"
+	MLayoutCouplingPairs = "layout_coupling_pairs_total"
+	MLayoutWirelength    = "layout_wirelength_mm" // gauge
+
+	// Golden path validation.
+	MGoldenSims       = "golden_simulations_total"
+	MGoldenAggressors = "golden_aggressors_total"
+)

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one entry of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Timestamps and durations are in microseconds, relative to the
+// tracer's start.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Sink receives trace events. Emit must be safe for concurrent use:
+// spans end on whichever goroutine ran the traced work, including the
+// engine's level workers.
+type Sink interface {
+	Emit(TraceEvent)
+}
+
+// Tracer stamps spans and instant events against a common start time
+// and forwards them to its sink. A nil *Tracer (or a Tracer with a nil
+// sink) is a no-op: Begin returns a nil *Span whose methods are
+// likewise no-ops, so instrumented code needs no nil checks.
+//
+// TID conventions used by the engine: 0 is the analysis driver
+// goroutine; level workers use 1..Workers.
+type Tracer struct {
+	sink  Sink
+	start time.Time
+	now   func() time.Time
+}
+
+// NewTracer builds a tracer over the given sink. A nil sink yields a
+// no-op tracer.
+func NewTracer(sink Sink) *Tracer {
+	return &Tracer{sink: sink, start: time.Now(), now: time.Now}
+}
+
+// NewTracerWithClock builds a tracer with an injectable clock, for
+// deterministic tests.
+func NewTracerWithClock(sink Sink, clock func() time.Time) *Tracer {
+	return &Tracer{sink: sink, start: clock(), now: clock}
+}
+
+func (t *Tracer) enabled() bool { return t != nil && t.sink != nil }
+
+func (t *Tracer) since(at time.Time) float64 {
+	return float64(at.Sub(t.start)) / float64(time.Microsecond)
+}
+
+// Span is one in-flight duration event. End emits it as a complete
+// ("X") event on the tid it was begun with.
+type Span struct {
+	t     *Tracer
+	name  string
+	tid   int
+	began time.Time
+	args  map[string]any
+}
+
+// Begin opens a span on the given tid. Spans on the same tid must nest
+// (end in reverse begin order) for the Chrome viewer to stack them.
+func (t *Tracer) Begin(name string, tid int) *Span {
+	if !t.enabled() {
+		return nil
+	}
+	return &Span{t: t, name: name, tid: tid, began: t.now()}
+}
+
+// Arg attaches a key/value argument to the span and returns it for
+// chaining. No-op on a nil span.
+func (s *Span) Arg(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.args == nil {
+		s.args = make(map[string]any, 4)
+	}
+	s.args[key] = value
+	return s
+}
+
+// End emits the span. No-op on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := s.t.now()
+	s.t.sink.Emit(TraceEvent{
+		Name:  s.name,
+		Phase: "X",
+		TS:    s.t.since(s.began),
+		Dur:   s.t.since(end) - s.t.since(s.began),
+		TID:   s.tid,
+		Args:  s.args,
+	})
+}
+
+// Instant emits a zero-duration instant ("i") event.
+func (t *Tracer) Instant(name string, tid int, args map[string]any) {
+	if !t.enabled() {
+		return
+	}
+	t.sink.Emit(TraceEvent{Name: name, Phase: "i", TS: t.since(t.now()), TID: tid, Args: args})
+}
+
+// ChromeTrace is a Sink that buffers events and writes them in the
+// Chrome trace_event JSON object format, loadable in chrome://tracing
+// or https://ui.perfetto.dev.
+type ChromeTrace struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// Emit implements Sink.
+func (c *ChromeTrace) Emit(ev TraceEvent) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events.
+func (c *ChromeTrace) Events() []TraceEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TraceEvent(nil), c.events...)
+}
+
+// chromeTraceFile is the trace_event JSON object container.
+type chromeTraceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON writes the buffered events as a trace_event JSON object.
+func (c *ChromeTrace) WriteJSON(w io.Writer) error {
+	c.mu.Lock()
+	events := append([]TraceEvent(nil), c.events...)
+	c.mu.Unlock()
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(chromeTraceFile{TraceEvents: events, DisplayTimeUnit: "ns"})
+}

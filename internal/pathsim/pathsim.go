@@ -17,12 +17,17 @@ import (
 	"xtalksta/internal/core"
 	"xtalksta/internal/device"
 	"xtalksta/internal/netlist"
+	"xtalksta/internal/obs"
 	"xtalksta/internal/spice"
 	"xtalksta/internal/waveform"
 )
 
 // Config tunes the golden simulation.
 type Config struct {
+	// Metrics, when non-nil, receives golden-simulation counters.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives a span per golden-path simulation.
+	Trace *obs.Tracer
 	// MaxOptimizedAggressors limits the alignment search to the largest
 	// coupling capacitances (default 6); the remaining aggressors
 	// switch at their model-nominal worst time.
@@ -115,16 +120,25 @@ type sim struct {
 
 // Simulate builds and optimizes the coupled path circuit for the
 // critical path reported by a core analysis.
-func Simulate(c *netlist.Circuit, lib *device.Library, siz ccc.Sizing, path []core.PathStep, cfg Config) (*Outcome, error) {
+func Simulate(c *netlist.Circuit, lib *device.Library, siz ccc.Sizing, path []core.PathStep, cfg Config) (out *Outcome, err error) {
 	cfg = cfg.withDefaults()
 	if len(path) < 2 {
 		return nil, fmt.Errorf("pathsim: path needs at least launch and one stage, got %d steps", len(path))
 	}
+	tsp := cfg.Trace.Begin("goldenpath", 0).Arg("stages", len(path)-1)
+	defer func() {
+		if out != nil {
+			cfg.Metrics.Counter(obs.MGoldenSims).Add(int64(out.Sims))
+			cfg.Metrics.Counter(obs.MGoldenAggressors).Add(int64(len(out.Aggressors)))
+			tsp.Arg("sims", out.Sims).Arg("aggressors", len(out.Aggressors))
+		}
+		tsp.End()
+	}()
 	s, err := build(c, lib, siz, path, cfg)
 	if err != nil {
 		return nil, err
 	}
-	out := &Outcome{Stages: len(path) - 1}
+	out = &Outcome{Stages: len(path) - 1}
 
 	// Quiet baseline.
 	for _, src := range s.aggSrcs {

@@ -99,6 +99,12 @@ type Result struct {
 	ckt    *Circuit
 	// Banded reports whether the banded solver was used.
 	Banded bool
+	// NewtonIterations is the total Newton iteration count over the DC
+	// operating point and every accepted or retried timestep.
+	NewtonIterations int
+	// NewtonRetries counts timesteps that failed to converge and were
+	// retried with a halved step.
+	NewtonRetries int
 }
 
 // Trace returns the recorded trace for a node, or an error when the
@@ -394,11 +400,15 @@ func (c *Circuit) Transient(opts TranOptions) (*Result, error) {
 	}
 	nw := solver.NewNewton(nUnk, nwOpts)
 
+	totalIters, retries := 0, 0
+
 	// DC operating point: capacitors open, sources at t=0.
 	if !opts.SkipDC {
 		tr.dcMode = true
 		tr.tNow, tr.tPrev = 0, 0
-		if _, err := nw.Solve(tr, tr.x); err != nil {
+		iters, err := nw.Solve(tr, tr.x)
+		totalIters += iters
+		if err != nil {
 			return nil, fmt.Errorf("spice: DC operating point: %w", err)
 		}
 		tr.dcMode = false
@@ -444,10 +454,13 @@ func (c *Circuit) Transient(opts TranOptions) (*Result, error) {
 			tr.h = h
 			tr.tNow = t + h
 			copy(tr.x, tr.xPrev)
-			if _, err := nw.Solve(tr, tr.x); err == nil {
+			iters, err := nw.Solve(tr, tr.x)
+			totalIters += iters
+			if err == nil {
 				solved = true
 				break
 			}
+			retries++
 			h /= 2
 		}
 		if !solved {
@@ -501,6 +514,8 @@ func (c *Circuit) Transient(opts TranOptions) (*Result, error) {
 		record(tNew)
 		t = tNew
 	}
+	res.NewtonIterations = totalIters
+	res.NewtonRetries = retries
 	return res, nil
 }
 
