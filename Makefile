@@ -25,9 +25,10 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-# Machine-readable five-mode benchmark table (BENCH_pr1.json format).
+# Machine-readable five-mode benchmark table (same schema as
+# BENCH_pr1.json, regenerated per PR).
 bench-json:
-	$(GO) run ./cmd/xtalksta -preset s35932 -scale 0.05 -json BENCH_pr1.json
+	$(GO) run ./cmd/xtalksta -preset s35932 -scale 0.05 -json BENCH_pr2.json
 
 clean:
 	$(GO) clean ./...

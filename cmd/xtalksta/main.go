@@ -77,6 +77,10 @@ func run() error {
 		fix       = flag.Bool("fix", false, "run the gate-sizing optimizer against -clock (requires -mode and -clock)")
 		goldenVCD = flag.String("goldenvcd", "", "with -golden: dump the aligned path waveforms to this VCD file")
 
+		lteTol      = flag.Float64("lte-tol", 0, "adaptive-timestep truncation-error tolerance in volts (0 = default 1e-3)")
+		cacheShards = flag.Int("cache-shards", 0, "lock stripes of the characterization cache, rounded up to a power of two (0 = default 8)")
+		fixedGrid   = flag.Bool("fixed-grid", false, "use the legacy fixed 700-step transient grid instead of the adaptive kernel")
+
 		workers     = flag.Int("workers", 0, "worker goroutines per BFS level (0/1 = sequential)")
 		metricsPath = flag.String("metrics", "", "write the metrics registry as JSON to this file")
 		tracePath   = flag.String("trace", "", "write a Chrome trace_event profile to this file")
@@ -150,6 +154,10 @@ func run() error {
 	bopts := xtalksta.Defaults()
 	bopts.Layout.Metrics = reg
 	bopts.Layout.Trace = tracer
+	bopts.Calc.Metrics = reg
+	bopts.Calc.LTETol = *lteTol
+	bopts.Calc.CacheShards = *cacheShards
+	bopts.Calc.FixedGrid = *fixedGrid
 	d, title, err := buildDesign(*benchPath, *spefPath, *preset, *scale, *cells, *dffs, *depth, *seed, bopts)
 	if err != nil {
 		return err

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"xtalksta/internal/obs"
+)
+
+// TestBCSReuseEquivalence: reusing stored best-case results across
+// refinement passes must not change any timing number — the cache key
+// is the exact input slew, so a hit returns the identical Result.
+func TestBCSReuseEquivalence(t *testing.T) {
+	for _, mode := range []Mode{OneStep, Iterative} {
+		c, calc := buildExtracted(t, 180, 16, 8, 811)
+		on := runMode(t, c, calc, Options{Mode: mode})
+		off := runMode(t, c, calc, Options{Mode: mode, DisableBCSReuse: true})
+		if on.LongestPath != off.LongestPath {
+			t.Errorf("%s: reuse changed the longest path: %v vs %v", mode, on.LongestPath, off.LongestPath)
+		}
+		if on.Endpoint != off.Endpoint {
+			t.Errorf("%s: reuse changed the endpoint", mode)
+		}
+	}
+}
+
+// TestBCSReuseSavesEvals: on an Iterative run the refinement passes
+// must hit the stored best-case results, cutting evaluator requests
+// versus the reuse-disabled engine.
+func TestBCSReuseSavesEvals(t *testing.T) {
+	run := func(disable bool) (int64, int64) {
+		// Fresh circuit + calculator per run (same seed, deterministic
+		// build) so the evaluator's counters start from zero.
+		c, calc := buildExtracted(t, 180, 16, 8, 812)
+		reg := obs.NewRegistry()
+		res := runMode(t, c, calc, Options{Mode: Iterative, DisableBCSReuse: disable, Metrics: reg})
+		if res.LongestPath <= 0 {
+			t.Fatal("no result")
+		}
+		req, _ := calc.Stats()
+		return req, reg.Counter(obs.MTBCSReuseHits).Value()
+	}
+
+	reqOn, hits := run(false)
+	reqOff, hitsOff := run(true)
+	if hits == 0 {
+		t.Error("iterative run recorded no t_bcs reuse hits")
+	}
+	if hitsOff != 0 {
+		t.Errorf("disabled engine recorded %d reuse hits", hitsOff)
+	}
+	if reqOn+hits != reqOff {
+		t.Errorf("request accounting: %d (reuse on) + %d hits != %d (reuse off)", reqOn, hits, reqOff)
+	}
+}
+
+// TestBCSReuseWorkerParity: the reuse and zero-coupling skips must be
+// deterministic — identical simulation and request counts, and an
+// identical longest path, for any worker count.
+func TestBCSReuseWorkerParity(t *testing.T) {
+	type outcome struct {
+		longest     float64
+		reqs, sims  int64
+		skips, hits int64
+	}
+	var base *outcome
+	for _, workers := range []int{1, 4, 16} {
+		c, calc := buildExtracted(t, 200, 16, 8, 813)
+		reg := obs.NewRegistry()
+		res := runMode(t, c, calc, Options{Mode: Iterative, Workers: workers, Metrics: reg})
+		reqs, sims := calc.Stats()
+		got := outcome{
+			longest: res.LongestPath,
+			reqs:    reqs,
+			sims:    sims,
+			skips:   reg.Counter(obs.MCouplingZeroSkips).Value(),
+			hits:    reg.Counter(obs.MTBCSReuseHits).Value(),
+		}
+		if base == nil {
+			b := got
+			base = &b
+			continue
+		}
+		if got != *base {
+			t.Errorf("workers=%d diverges from workers=1:\n  got  %+v\n  want %+v", workers, got, *base)
+		}
+	}
+}

@@ -109,6 +109,11 @@ type Options struct {
 	// 1; clock-tree buffers are additionally scaled by the library's
 	// ClockBufMult). Used by the timing-driven sizing optimizer.
 	CellSizes map[netlist.CellID]float64
+	// DisableBCSReuse turns off the cross-pass best-case (t_bcs) arc
+	// cache of the OneStep/Iterative modes (ablation). The cache is
+	// exact — keyed on the unquantized input slew — so reuse never
+	// changes results, only skips redundant evaluator calls.
+	DisableBCSReuse bool
 	// Metrics, when set, receives engine-wide counters (arc
 	// evaluations, Newton iterations, coupling decisions, esperance
 	// skips, per-level worker utilization, ...) under the obs.M* names.
@@ -242,6 +247,11 @@ type Engine struct {
 	// earliestStart holds per-(net, dir) earliest transition-start
 	// bounds when Options.Windows is active (nil otherwise).
 	earliestStart [][2]float64
+	// bcs caches best-case arc results across passes, indexed by
+	// [out net − 1][pin*2 + dOut]. Exactly one level worker owns a cell
+	// within a pass and passes are barrier-separated, so the slots need
+	// no locking (see parallel.go).
+	bcs [][]bcsEntry
 	// Level structure for (optionally parallel) level-synchronized
 	// sweeps; see parallel.go.
 	clockLevels [][]netlist.CellID
@@ -287,6 +297,14 @@ func NewEngine(c *netlist.Circuit, calc delaycalc.Evaluator, opts Options) (*Eng
 	e.m.workers.Set(float64(workers))
 	if err := e.buildNetInfo(); err != nil {
 		return nil, err
+	}
+	if !opts.DisableBCSReuse {
+		e.bcs = make([][]bcsEntry, len(c.Nets))
+		for _, cell := range c.Cells {
+			if cell.Kind != netlist.DFF && cell.Out != netlist.NoNet {
+				e.bcs[cell.Out-1] = make([]bcsEntry, 2*len(cell.In))
+			}
+		}
 	}
 	e.buildEndpoints()
 	e.buildLevels()

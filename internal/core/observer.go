@@ -55,6 +55,7 @@ type Observer interface {
 type engineMetrics struct {
 	arcEvals, sims, newtonIters, newtonFails               *obs.Counter
 	couplingActive, couplingGrounded, couplingWindowPruned *obs.Counter
+	ccZeroSkips, tbcsHits                                  *obs.Counter
 	passes, recalcWires, esperanceSkips                    *obs.Counter
 	levels, parallelLevels, workerCells, seqCells          *obs.Counter
 	levelCells                                             *obs.Histogram
@@ -63,22 +64,24 @@ type engineMetrics struct {
 
 func newEngineMetrics(r *obs.Registry) *engineMetrics {
 	return &engineMetrics{
-		arcEvals:              r.Counter(obs.MArcEvaluations),
-		sims:                  r.Counter(obs.MSimulations),
-		newtonIters:           r.Counter(obs.MNewtonIters),
-		newtonFails:           r.Counter(obs.MNewtonFailures),
-		couplingActive:        r.Counter(obs.MCouplingActive),
-		couplingGrounded:      r.Counter(obs.MCouplingGrounded),
-		couplingWindowPruned:  r.Counter(obs.MCouplingWindowPruned),
-		passes:                r.Counter(obs.MPasses),
-		recalcWires:           r.Counter(obs.MRecalcWires),
-		esperanceSkips:        r.Counter(obs.MEsperanceSkips),
-		levels:                r.Counter(obs.MLevels),
-		parallelLevels:        r.Counter(obs.MParallelLevels),
-		workerCells:           r.Counter(obs.MWorkerCells),
-		seqCells:              r.Counter(obs.MSequentialCells),
-		levelCells:            r.Histogram(obs.MLevelCells),
-		workers:               r.Gauge(obs.MWorkers),
+		arcEvals:             r.Counter(obs.MArcEvaluations),
+		sims:                 r.Counter(obs.MSimulations),
+		newtonIters:          r.Counter(obs.MNewtonIters),
+		newtonFails:          r.Counter(obs.MNewtonFailures),
+		couplingActive:       r.Counter(obs.MCouplingActive),
+		couplingGrounded:     r.Counter(obs.MCouplingGrounded),
+		couplingWindowPruned: r.Counter(obs.MCouplingWindowPruned),
+		ccZeroSkips:          r.Counter(obs.MCouplingZeroSkips),
+		tbcsHits:             r.Counter(obs.MTBCSReuseHits),
+		passes:               r.Counter(obs.MPasses),
+		recalcWires:          r.Counter(obs.MRecalcWires),
+		esperanceSkips:       r.Counter(obs.MEsperanceSkips),
+		levels:               r.Counter(obs.MLevels),
+		parallelLevels:       r.Counter(obs.MParallelLevels),
+		workerCells:          r.Counter(obs.MWorkerCells),
+		seqCells:             r.Counter(obs.MSequentialCells),
+		levelCells:           r.Histogram(obs.MLevelCells),
+		workers:              r.Gauge(obs.MWorkers),
 	}
 }
 

@@ -203,10 +203,12 @@ func (e *Engine) evalArc(mode Mode, st []netState, quietPrev [][2]float64,
 			return e.Calc.Eval(req)
 		}
 		// Step 1 (§5.1): best-case waveform with all neighbors quiet
-		// fixes t_bcs — the earliest the victim could reach Vth.
+		// fixes t_bcs — the earliest the victim could reach Vth. The
+		// request depends only on (cell, pin, dir, inSlew), so refinement
+		// passes whose input slew is unchanged reuse the stored result.
 		bcs := req
 		load(&bcs, inf.baseCap+inf.sumCc)
-		bcsRes, err := e.Calc.Eval(bcs)
+		bcsRes, err := e.evalBCS(cell, pin, dOut, inSlew, bcs)
 		if err != nil {
 			return delaycalc.Result{}, err
 		}
@@ -262,10 +264,46 @@ func (e *Engine) evalArc(mode Mode, st []netState, quietPrev [][2]float64,
 				e.m.couplingGrounded.Inc()
 			}
 		}
+		if ccActive == 0 {
+			// Every neighbor is quiet: the worst-case request would carry
+			// the full coupling capacitance grounded — electrically the
+			// best-case request already computed. Skip the second Eval.
+			e.m.ccZeroSkips.Inc()
+			return bcsRes, nil
+		}
 		// Step 3: worst-case waveform with the active subset coupling.
 		load(&req, inf.baseCap+(inf.sumCc-ccActive))
 		req.CCouple = ccActive
 		return e.Calc.Eval(req)
 	}
 	return delaycalc.Result{}, fmt.Errorf("core: evalArc: unknown mode %d", int(mode))
+}
+
+// bcsEntry is one cached best-case arc result (see Engine.bcs).
+type bcsEntry struct {
+	inSlew float64
+	res    delaycalc.Result
+	valid  bool
+}
+
+// evalBCS evaluates the best-case (all-quiet) arc request, reusing the
+// result stored by an earlier pass when the exact input slew repeats —
+// the §5.2 refinement loop otherwise pays two evaluator calls per arc
+// per pass. The reuse decision depends only on per-arc values, so
+// parallel and sequential sweeps skip identically.
+func (e *Engine) evalBCS(cell *netlist.Cell, pin, dOut int, inSlew float64, req delaycalc.Request) (delaycalc.Result, error) {
+	if e.bcs == nil {
+		return e.Calc.Eval(req)
+	}
+	slot := &e.bcs[cell.Out-1][pin*2+dOut]
+	if slot.valid && slot.inSlew == inSlew {
+		e.m.tbcsHits.Inc()
+		return slot.res, nil
+	}
+	res, err := e.Calc.Eval(req)
+	if err != nil {
+		return res, err
+	}
+	*slot = bcsEntry{inSlew: inSlew, res: res, valid: true}
+	return res, nil
 }

@@ -20,6 +20,7 @@ import (
 	"xtalksta/internal/coupling"
 	"xtalksta/internal/device"
 	"xtalksta/internal/netlist"
+	"xtalksta/internal/obs"
 	"xtalksta/internal/spice"
 	"xtalksta/internal/waveform"
 )
@@ -82,8 +83,24 @@ type Options struct {
 	// CouplingBuckets is the number of linear buckets for the coupling
 	// ratio Cc/(Cc+Cgnd) (default 16).
 	CouplingBuckets int
-	// StepsPerRun sets the transient resolution (default 700 steps).
+	// StepsPerRun sets the transient resolution: the step count of the
+	// fixed grid, and the baseline fine step (window/StepsPerRun) of the
+	// adaptive kernel (default 700).
 	StepsPerRun int
+	// LTETol is the adaptive kernel's local-truncation-error tolerance
+	// in volts per step (default 1 mV). Smaller is more accurate and
+	// slower; the fixed 700-step grid is the reference it converges to.
+	LTETol float64
+	// FixedGrid reverts stage simulation to the legacy fixed-grid
+	// integration with restart-on-extension (reference/ablation path).
+	FixedGrid bool
+	// CacheShards is the number of lock stripes of the characterization
+	// cache, rounded up to a power of two (default 8). More shards cut
+	// lock contention between level-parallel workers.
+	CacheShards int
+	// Metrics, when set, receives cache-shard and integration-kernel
+	// instrumentation under the obs.M* names.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -96,19 +113,29 @@ func (o Options) withDefaults() Options {
 	if o.StepsPerRun == 0 {
 		o.StepsPerRun = 700
 	}
+	if o.LTETol == 0 {
+		o.LTETol = 1e-3
+	}
+	if o.CacheShards == 0 {
+		o.CacheShards = 8
+	}
 	return o
 }
 
-// Calculator evaluates timing arcs. It is safe for concurrent use.
+// Calculator evaluates timing arcs. It is safe for concurrent use: the
+// characterization cache is lock-striped into power-of-two shards so
+// level-parallel workers only contend when their requests hash to the
+// same stripe, and each shard preserves per-key single-flight (the
+// property that keeps the Simulations counter deterministic under any
+// worker count).
 type Calculator struct {
 	Lib    *device.Library
 	Sizing ccc.Sizing
 	Model  coupling.Model
 	opts   Options
 
-	mu       sync.Mutex
-	cache    map[cacheKey]Result
-	inflight map[cacheKey]*flight
+	shards    []cacheShard
+	shardMask uint64
 
 	// Work counters. Atomic (not mutex-guarded) so concurrent level
 	// workers never serialize on bookkeeping; read via Stats/Counters.
@@ -116,6 +143,38 @@ type Calculator struct {
 	misses      atomic.Int64
 	newtonIters atomic.Int64
 	newtonFails atomic.Int64
+
+	// Registry instruments (live but unregistered when Options.Metrics
+	// is nil). Hit/contention counts depend on goroutine scheduling and
+	// are deliberately NOT part of Counters.
+	m calcMetrics
+}
+
+// cacheShard is one lock stripe of the characterization cache.
+type cacheShard struct {
+	mu       sync.Mutex
+	cache    map[cacheKey]Result
+	inflight map[cacheKey]*flight
+}
+
+// calcMetrics holds the calculator's resolved obs instruments.
+type calcMetrics struct {
+	hits, misses, contention           *obs.Counter
+	steps, rejections, earlyStops, ext *obs.Counter
+	shards                             *obs.Gauge
+}
+
+func newCalcMetrics(r *obs.Registry) calcMetrics {
+	return calcMetrics{
+		hits:       r.Counter(obs.MDelayCacheHits),
+		misses:     r.Counter(obs.MDelayCacheMisses),
+		contention: r.Counter(obs.MDelayCacheContention),
+		steps:      r.Counter(obs.MSimSteps),
+		rejections: r.Counter(obs.MSimStepRejections),
+		earlyStops: r.Counter(obs.MSimEarlyStops),
+		ext:        r.Counter(obs.MSimWindowExtensions),
+		shards:     r.Gauge(obs.MDelayCacheShards),
+	}
 }
 
 // flight is one in-progress characterization. Concurrent requests for
@@ -130,14 +189,59 @@ type flight struct {
 
 // New builds a calculator for the process behind lib.
 func New(lib *device.Library, sizing ccc.Sizing, model coupling.Model, opts Options) *Calculator {
-	return &Calculator{
-		Lib:      lib,
-		Sizing:   sizing,
-		Model:    model,
-		opts:     opts.withDefaults(),
-		cache:    make(map[cacheKey]Result),
-		inflight: make(map[cacheKey]*flight),
+	opts = opts.withDefaults()
+	n := 1
+	for n < opts.CacheShards {
+		n <<= 1
 	}
+	c := &Calculator{
+		Lib:       lib,
+		Sizing:    sizing,
+		Model:     model,
+		opts:      opts,
+		shards:    make([]cacheShard, n),
+		shardMask: uint64(n - 1),
+		m:         newCalcMetrics(opts.Metrics),
+	}
+	for i := range c.shards {
+		c.shards[i].cache = make(map[cacheKey]Result)
+		c.shards[i].inflight = make(map[cacheKey]*flight)
+	}
+	c.m.shards.Set(float64(n))
+	return c
+}
+
+// mix64 is the splitmix64 finalizer — a full-avalanche mix so cache
+// keys that differ only in low bucket bits still spread over shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// shardOf picks the lock stripe for a cache key.
+func (c *Calculator) shardOf(k cacheKey) *cacheShard {
+	w1 := uint64(uint8(k.kind)) | uint64(uint16(k.nin))<<8 |
+		uint64(uint16(k.pin))<<24 | uint64(uint8(k.dir))<<40 |
+		uint64(uint16(k.slewB))<<48
+	w2 := uint64(uint16(k.loadB)) | uint64(uint16(k.cplB))<<16 |
+		uint64(uint16(k.farB))<<32 | uint64(uint16(k.rwB))<<48
+	h := mix64(mix64(w1) ^ w2 ^ uint64(uint16(k.sizeB))<<13)
+	return &c.shards[h&c.shardMask]
+}
+
+// lock acquires a shard's mutex, counting the acquisitions that had to
+// wait (observability only — TryLock first, so the uncontended path
+// costs one CAS like a plain Lock).
+func (c *Calculator) lock(sh *cacheShard) {
+	if sh.mu.TryLock() {
+		return
+	}
+	c.m.contention.Inc()
+	sh.mu.Lock()
 }
 
 // Stats returns the number of requests served and the number that
@@ -169,10 +273,16 @@ func (c *Calculator) Counters() Counters {
 // characterization cost, mirroring how the paper times each analysis as
 // a standalone run.
 func (c *Calculator) ClearCache() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.cache = make(map[cacheKey]Result)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.cache = make(map[cacheKey]Result)
+		sh.mu.Unlock()
+	}
 }
+
+// CacheShards returns the number of lock stripes (a power of two).
+func (c *Calculator) CacheShards() int { return len(c.shards) }
 
 type cacheKey struct {
 	kind     netlist.GateKind
@@ -254,28 +364,34 @@ func (c *Calculator) Eval(r Request) (Result, error) {
 		return c.simulate(r)
 	}
 	key, q := c.quantize(r)
-	c.mu.Lock()
-	if res, ok := c.cache[key]; ok {
-		c.mu.Unlock()
+	sh := c.shardOf(key)
+	c.lock(sh)
+	if res, ok := sh.cache[key]; ok {
+		sh.mu.Unlock()
+		c.m.hits.Inc()
 		return res, nil
 	}
-	if fl, ok := c.inflight[key]; ok {
-		c.mu.Unlock()
+	if fl, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
 		<-fl.done
+		// A single-flight waiter got the result without simulating:
+		// count it as a hit so hits + misses == requests.
+		c.m.hits.Inc()
 		return fl.res, fl.err
 	}
 	fl := &flight{done: make(chan struct{})}
-	c.inflight[key] = fl
-	c.mu.Unlock()
+	sh.inflight[key] = fl
+	sh.mu.Unlock()
 	c.misses.Add(1)
+	c.m.misses.Inc()
 
 	res, err := c.simulate(q)
-	c.mu.Lock()
+	c.lock(sh)
 	if err == nil {
-		c.cache[key] = res
+		sh.cache[key] = res
 	}
-	delete(c.inflight, key)
-	c.mu.Unlock()
+	delete(sh.inflight, key)
+	sh.mu.Unlock()
 	fl.res, fl.err = res, err
 	close(fl.done)
 	if err != nil {
@@ -349,8 +465,23 @@ func (c *Calculator) simulate(r Request) (Result, error) {
 	tIn50 := r.InSlew / 2
 
 	window := r.InSlew + 25*(rdrive*ctot+r.RWire*(r.CFar+r.CCouple)) + 0.5e-9
+	if c.opts.FixedGrid {
+		return c.simulateFixed(r, st, ev, hasEvent, window, tIn50, ctot)
+	}
+	return c.simulateAdaptive(r, st, ev, hasEvent, window, tIn50, ctot)
+}
+
+// simulateFixed is the legacy reference integration: a fixed
+// StepsPerRun-step grid, resimulated from t=0 with a 2.5× window
+// whenever the output fails to settle.
+func (c *Calculator) simulateFixed(r Request, st *ccc.Stage, ev coupling.Event, hasEvent bool,
+	window, tIn50, ctot float64) (Result, error) {
+	p := c.Lib.Proc
 	eventTime := math.NaN()
 	for attempt := 0; attempt < 4; attempt++ {
+		if attempt > 0 {
+			c.m.ext.Inc()
+		}
 		var events []*spice.Event
 		eventTime = math.NaN()
 		if hasEvent {
@@ -380,6 +511,7 @@ func (c *Calculator) simulate(r Request) (Result, error) {
 		}
 		c.newtonIters.Add(int64(res.NewtonIterations))
 		c.newtonFails.Add(int64(res.NewtonRetries))
+		c.m.steps.Add(int64(res.Steps))
 		tr, err := res.Trace(st.Far)
 		if err != nil {
 			return Result{}, err
@@ -389,6 +521,77 @@ func (c *Calculator) simulate(r Request) (Result, error) {
 			continue
 		}
 		return c.measure(r, tr, tIn50, eventTime)
+	}
+	return Result{}, fmt.Errorf("delaycalc: %s%d pin %d %s: output never settled (load %.3g F, slew %.3g s)",
+		r.Kind, r.NIn, r.Pin, r.Dir, ctot, r.InSlew)
+}
+
+// simulateAdaptive runs the stage on the adaptive-timestep kernel: one
+// resumable integration whose trace is extended (never restarted) when
+// the output has not settled, terminated early by the settle detector,
+// with all scratch coming from the spice workspace pool.
+func (c *Calculator) simulateAdaptive(r Request, st *ccc.Stage, ev coupling.Event, hasEvent bool,
+	window, tIn50, ctot float64) (Result, error) {
+	p := c.Lib.Proc
+	eventTime := math.NaN()
+	var events []*spice.Event
+	if hasEvent {
+		out := st.Far
+		restart := ev.Restart
+		spev := &spice.Event{
+			Node:      out,
+			Threshold: ev.Trigger,
+			Dir:       r.Dir,
+		}
+		spev.Action = func(t float64, s *spice.State) {
+			s.SetV(out, restart)
+			eventTime = t
+		}
+		events = append(events, spev)
+	}
+	tn, err := st.Ckt.StartTransient(spice.TranOptions{
+		DT:       window / float64(c.opts.StepsPerRun),
+		LTETol:   c.opts.LTETol,
+		InitialV: st.InitialV,
+		Probes:   []spice.NodeID{st.Far},
+		Events:   events,
+		// The settle detector uses a tolerance tighter than the 5%-of-
+		// VDD settled check below, so an early stop always passes it.
+		SettleV:       map[spice.NodeID]float64{st.Far: st.OutFinal},
+		SettleTol:     0.02 * p.VDD,
+		MinSettleTime: r.InSlew,
+	})
+	if err != nil {
+		c.newtonFails.Add(1)
+		return Result{}, fmt.Errorf("delaycalc: %s%d pin %d %s: %w", r.Kind, r.NIn, r.Pin, r.Dir, err)
+	}
+	defer func() {
+		res := tn.Result()
+		c.newtonIters.Add(int64(res.NewtonIterations))
+		c.newtonFails.Add(int64(res.NewtonRetries))
+		c.m.steps.Add(int64(res.Steps))
+		c.m.rejections.Add(int64(res.Rejections))
+		if res.EarlyStop {
+			c.m.earlyStops.Inc()
+		}
+		tn.Close()
+	}()
+	for attempt := 0; attempt < 4; attempt++ {
+		if attempt > 0 {
+			window *= 2.5
+			c.m.ext.Inc()
+		}
+		if err := tn.Advance(window); err != nil {
+			c.newtonFails.Add(1)
+			return Result{}, fmt.Errorf("delaycalc: %s%d pin %d %s: %w", r.Kind, r.NIn, r.Pin, r.Dir, err)
+		}
+		tr, err := tn.Result().Trace(st.Far)
+		if err != nil {
+			return Result{}, err
+		}
+		if tr.Settled(st.OutFinal, 0.05*p.VDD) {
+			return c.measure(r, tr, tIn50, eventTime)
+		}
 	}
 	return Result{}, fmt.Errorf("delaycalc: %s%d pin %d %s: output never settled (load %.3g F, slew %.3g s)",
 		r.Kind, r.NIn, r.Pin, r.Dir, ctot, r.InSlew)

@@ -1,0 +1,138 @@
+package delaycalc
+
+import (
+	"sync"
+	"testing"
+
+	"xtalksta/internal/netlist"
+	"xtalksta/internal/obs"
+	"xtalksta/internal/waveform"
+)
+
+// shardReqs builds a request set that spreads across shards (kind,
+// pin, direction and slew/load buckets all vary).
+func shardReqs() []Request {
+	reqs := make([]Request, 0, 24)
+	for i := 0; i < 24; i++ {
+		r := Request{
+			Kind:   []netlist.GateKind{netlist.INV, netlist.NAND, netlist.NOR}[i%3],
+			NIn:    1,
+			Pin:    0,
+			Dir:    waveform.Direction(i % 2),
+			InSlew: 0.12e-9 * float64(1+i%4),
+			CLoad:  25e-15 * float64(1+i%5),
+		}
+		if r.Kind != netlist.INV {
+			r.NIn = 2 + i%2
+			r.Pin = i % r.NIn
+		}
+		reqs = append(reqs, r)
+	}
+	return reqs
+}
+
+// TestShardedCacheRace16 hammers the lock-striped cache from 16
+// goroutines (run with -race) and demands the Simulations/Newton
+// counters land exactly on the sequential totals: per-shard
+// single-flight must still collapse concurrent misses on one key.
+func TestShardedCacheRace16(t *testing.T) {
+	reqs := shardReqs()
+
+	seq := newCalc(t, Options{CacheShards: 8})
+	for _, r := range reqs {
+		if _, err := seq.Eval(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := seq.Counters()
+
+	reg := obs.NewRegistry()
+	par := newCalc(t, Options{CacheShards: 8, Metrics: reg})
+	if got := par.CacheShards(); got != 8 {
+		t.Fatalf("CacheShards() = %d, want 8", got)
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Start each goroutine at a different offset so shard
+			// contention actually happens.
+			for i := range reqs {
+				if _, err := par.Eval(reqs[(g+i)%len(reqs)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	got := par.Counters()
+	want.Requests *= goroutines
+	if got != want {
+		t.Errorf("16-goroutine counters differ from sequential:\n  got  %+v\n  want %+v", got, want)
+	}
+
+	// Shard metrics sanity: every request is either a hit or a miss
+	// (single-flight waiters count as hits), and the shard-count gauge
+	// reflects the configuration. Hit/miss split is scheduling-
+	// dependent, so only the sum is exact.
+	hits := reg.Counter(obs.MDelayCacheHits).Value()
+	misses := reg.Counter(obs.MDelayCacheMisses).Value()
+	if hits+misses != got.Requests {
+		t.Errorf("hits (%d) + misses (%d) != requests (%d)", hits, misses, got.Requests)
+	}
+	if misses < int64(len(reqs)) {
+		t.Errorf("misses %d below distinct key count %d", misses, len(reqs))
+	}
+	if g := reg.Gauge(obs.MDelayCacheShards).Value(); g != 8 {
+		t.Errorf("shard gauge = %v, want 8", g)
+	}
+}
+
+// TestShardCountRounding: the shard count rounds up to a power of two
+// and defaults sensibly.
+func TestShardCountRounding(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 8}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16},
+	}
+	for _, tc := range cases {
+		c := newCalc(t, Options{CacheShards: tc.in})
+		if got := c.CacheShards(); got != tc.want {
+			t.Errorf("CacheShards %d → %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestShardedClearCache: ClearCache must clear every shard, so a
+// repeat of the same request set re-simulates every distinct key.
+func TestShardedClearCache(t *testing.T) {
+	c := newCalc(t, Options{CacheShards: 4})
+	for _, r := range shardReqs() {
+		if _, err := c.Eval(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, sims0 := c.Stats()
+	if sims0 == 0 {
+		t.Fatal("no simulations recorded")
+	}
+	c.ClearCache()
+	c.ResetStats()
+	for _, r := range shardReqs() {
+		if _, err := c.Eval(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, sims := c.Stats()
+	if sims != sims0 {
+		t.Errorf("after ClearCache the sweep must re-simulate all %d distinct keys, got %d", sims0, sims)
+	}
+}

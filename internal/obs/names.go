@@ -11,10 +11,29 @@ const (
 	MNewtonIters    = "newton_iterations_total"
 	MNewtonFailures = "newton_convergence_failures_total"
 
+	// Characterization-cache shard traffic (lock-striped cache).
+	// Hits/contention depend on scheduling and are observability-only;
+	// Simulations (above) stays deterministic via per-key single-flight.
+	MDelayCacheHits       = "delaycalc_cache_hits_total"
+	MDelayCacheMisses     = "delaycalc_cache_misses_total"
+	MDelayCacheContention = "delaycalc_cache_contention_total"
+	MDelayCacheShards     = "delaycalc_cache_shards" // gauge
+
+	// Adaptive transient kernel.
+	MSimSteps            = "sim_steps_total"
+	MSimStepRejections   = "sim_step_rejections_total"
+	MSimEarlyStops       = "sim_early_stops_total"
+	MSimWindowExtensions = "xtalksta_sim_window_extensions"
+
 	// Coupling decisions taken by the one-step/iterative classifier.
 	MCouplingActive       = "coupling_active_total"
 	MCouplingGrounded     = "coupling_grounded_total"
 	MCouplingWindowPruned = "coupling_window_pruned_total"
+	// Arc evaluations skipped because the worst-case request collapsed
+	// to the already-computed best-case one (no active coupling), and
+	// best-case results reused across Iterative refinement passes.
+	MCouplingZeroSkips = "coupling_zero_eval_skips_total"
+	MTBCSReuseHits     = "tbcs_reuse_hits_total"
 
 	// Engine sweep structure.
 	MPasses          = "passes_total"

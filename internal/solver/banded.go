@@ -23,10 +23,30 @@ type BandedLU struct {
 // NewBandedLU allocates workspace for n×n systems with half bandwidth k
 // (nonzeros only where |i−j| ≤ k).
 func NewBandedLU(n, k int) *BandedLU {
+	f := &BandedLU{}
+	f.Reset(n, k)
+	return f
+}
+
+// Reset resizes the factorization workspace for n×n systems with half
+// bandwidth k, reusing the backing storage when possible (pooled
+// transient workspaces hand the same BandedLU to runs of different
+// sizes).
+func (f *BandedLU) Reset(n, k int) {
 	if k >= n {
 		k = n - 1
 	}
-	return &BandedLU{n: n, k: k, lu: make([]float64, n*(2*k+1)), work: make([]float64, n)}
+	f.n, f.k = n, k
+	if need := n * (2*k + 1); cap(f.lu) < need {
+		f.lu = make([]float64, need)
+	} else {
+		f.lu = f.lu[:need]
+	}
+	if cap(f.work) < n {
+		f.work = make([]float64, n)
+	} else {
+		f.work = f.work[:n]
+	}
 }
 
 // HalfBandwidth returns k.

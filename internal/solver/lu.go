@@ -26,6 +26,20 @@ func NewMatrix(n int) *Matrix {
 	return &Matrix{N: n, Data: make([]float64, n*n)}
 }
 
+// Reset resizes the matrix to n×n and zeroes it, reusing the backing
+// storage when it is large enough — the pooled-workspace path of the
+// transient kernel.
+func (m *Matrix) Reset(n int) {
+	if cap(m.Data) < n*n {
+		m.Data = make([]float64, n*n)
+		m.N = n
+		return
+	}
+	m.Data = m.Data[:n*n]
+	m.N = n
+	m.Zero()
+}
+
 // At returns element (i, j).
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
 
@@ -75,6 +89,21 @@ type LU struct {
 // loop.
 func NewLU(n int) *LU {
 	return &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), work: make([]float64, n)}
+}
+
+// Reset resizes the factorization workspace to n×n systems, reusing the
+// backing storage when it is large enough.
+func (f *LU) Reset(n int) {
+	f.n = n
+	if cap(f.lu) < n*n {
+		f.lu = make([]float64, n*n)
+		f.piv = make([]int, n)
+		f.work = make([]float64, n)
+		return
+	}
+	f.lu = f.lu[:n*n]
+	f.piv = f.piv[:n]
+	f.work = f.work[:n]
 }
 
 // Factor computes the LU factorization of m with partial pivoting. m is

@@ -46,6 +46,13 @@ type NewtonOptions struct {
 	// partial pivoting). When a non-dense solver reports a singular
 	// pivot, Newton retries the step with the dense fallback.
 	Linear Linear
+	// AcceptFirst also applies the TolF residual acceptance to the very
+	// first iteration. A point whose KCL residual is already below TolF
+	// is a solution; accepting it skips the factor+solve entirely —
+	// the dominant case in the settled tail of an adaptive transient,
+	// where the state is stationary between steps. Off by default so
+	// fixed-grid runs keep their historical iteration counts.
+	AcceptFirst bool
 }
 
 func (o NewtonOptions) withDefaults() NewtonOptions {
@@ -75,23 +82,64 @@ type Newton struct {
 	dx       []float64
 	lin      Linear
 	fallback *LU
+	// factored is true once lin holds a valid factorization from a
+	// previous Solve; reuseNext arms the stale-factorization fast path
+	// for the next Solve (see ReuseFactorization).
+	factored  bool
+	reuseNext bool
 }
 
 // NewNewton allocates a Newton driver for n unknowns.
 func NewNewton(n int, opts NewtonOptions) *Newton {
+	nw := &Newton{}
+	nw.Reconfigure(n, opts)
+	return nw
+}
+
+// Reconfigure re-targets the driver at an n-unknown system with fresh
+// options, reusing the allocated workspace where sizes allow — the
+// pooled-workspace path of the transient kernel.
+func (nw *Newton) Reconfigure(n int, opts NewtonOptions) {
 	opts = opts.withDefaults()
-	nw := &Newton{
-		opts: opts,
-		jac:  NewMatrix(n),
-		res:  make([]float64, n),
-		dx:   make([]float64, n),
+	nw.opts = opts
+	if nw.jac == nil {
+		nw.jac = NewMatrix(n)
+	} else {
+		nw.jac.Reset(n)
+	}
+	if cap(nw.res) < n {
+		nw.res = make([]float64, n)
+		nw.dx = make([]float64, n)
+	} else {
+		nw.res = nw.res[:n]
+		nw.dx = nw.dx[:n]
 	}
 	if opts.Linear != nil {
 		nw.lin = opts.Linear
+	} else if lu, ok := nw.lin.(*LU); ok && opts.Linear == nil {
+		lu.Reset(n)
 	} else {
 		nw.lin = NewLU(n)
 	}
-	return nw
+	if nw.fallback != nil {
+		nw.fallback.Reset(n)
+	}
+	nw.factored = false
+	nw.reuseNext = false
+}
+
+// ReuseFactorization arms a one-shot fast path for the next Solve: the
+// first iteration reuses the linear solver's existing factorization
+// instead of refactoring the fresh Jacobian. The caller asserts the
+// Jacobian is (near) unchanged since the previous Solve — e.g. an
+// adaptive transient step with the same timestep whose state barely
+// moved. The result is validated by the usual residual/update tests;
+// if the stale direction does not converge, iteration 2 refactors, so
+// correctness never depends on the hint.
+func (nw *Newton) ReuseFactorization() {
+	if nw.factored {
+		nw.reuseNext = true
+	}
 }
 
 // Solve iterates x ← x − J⁻¹·F(x) until the update norm falls below
@@ -101,6 +149,8 @@ func (nw *Newton) Solve(sys System, x []float64) (int, error) {
 	if len(x) != n {
 		return 0, fmt.Errorf("solver: state size %d does not match system size %d", len(x), n)
 	}
+	reuse := nw.reuseNext
+	nw.reuseNext = false
 	for iter := 1; iter <= nw.opts.MaxIter; iter++ {
 		nw.jac.Zero()
 		for i := range nw.res {
@@ -113,26 +163,36 @@ func (nw *Newton) Solve(sys System, x []float64) (int, error) {
 				resNorm = a
 			}
 		}
-		if iter > 1 && resNorm < nw.opts.TolF {
+		if (iter > 1 || nw.opts.AcceptFirst) && resNorm < nw.opts.TolF {
 			return iter, nil
 		}
 		lin := nw.lin
-		if err := lin.Factor(nw.jac); err != nil {
-			// A pivot-free banded solver can fail where pivoted dense
-			// succeeds; fall back once per solve.
-			if _, isDense := lin.(*LU); isDense {
-				return iter, fmt.Errorf("solver: Newton Jacobian at iter %d: %w", iter, err)
-			}
-			if nw.fallback == nil {
-				nw.fallback = NewLU(n)
-			}
-			lin = nw.fallback
+		// Stale-factorization fast path: solve iteration 1 with the
+		// previous step's factors. If the direction is off, the iter-2
+		// residual check fails and the loop refactors normally; a
+		// failing stale solve falls through to a fresh factor.
+		staleOK := reuse && iter == 1 && lin.Solve(nw.res, nw.dx) == nil
+		if !staleOK {
 			if err := lin.Factor(nw.jac); err != nil {
-				return iter, fmt.Errorf("solver: Newton Jacobian at iter %d: %w", iter, err)
+				// A pivot-free banded solver can fail where pivoted dense
+				// succeeds; fall back once per solve.
+				nw.factored = false
+				if _, isDense := lin.(*LU); isDense {
+					return iter, fmt.Errorf("solver: Newton Jacobian at iter %d: %w", iter, err)
+				}
+				if nw.fallback == nil {
+					nw.fallback = NewLU(n)
+				}
+				lin = nw.fallback
+				if err := lin.Factor(nw.jac); err != nil {
+					return iter, fmt.Errorf("solver: Newton Jacobian at iter %d: %w", iter, err)
+				}
+			} else {
+				nw.factored = true
 			}
-		}
-		if err := lin.Solve(nw.res, nw.dx); err != nil {
-			return iter, err
+			if err := lin.Solve(nw.res, nw.dx); err != nil {
+				return iter, err
+			}
 		}
 		// Progressive damping: the piecewise-bilinear table models have
 		// derivative jumps at cell boundaries that can trap undamped

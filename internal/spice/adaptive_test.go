@@ -1,0 +1,247 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"xtalksta/internal/waveform"
+)
+
+// rcCircuit builds in → R → mid → R → out with caps to ground, driven
+// by a ramp.
+func rcCircuit(t *testing.T, tau float64) (*Circuit, NodeID, NodeID) {
+	t.Helper()
+	c := NewCircuit()
+	in, err := c.DriveNode("in", RampSource{T0: 0.1e-9, TR: 0.2e-9, V0: 0, V1: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := c.Node("mid")
+	out := c.Node("out")
+	r := 1e3
+	cap := tau / r / 2
+	if err := c.AddResistor("r1", in, mid, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddResistor("r2", mid, out, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddCapacitor("c1", mid, Ground, cap); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddCapacitor("c2", out, Ground, cap); err != nil {
+		t.Fatal(err)
+	}
+	return c, in, out
+}
+
+// TestAdaptiveMatchesFixedRC compares the adaptive kernel against a
+// fine fixed grid on an RC ladder: the 50% crossing must agree to well
+// under the fixed step.
+func TestAdaptiveMatchesFixedRC(t *testing.T) {
+	tau := 0.1e-9
+	window := 2e-9
+
+	cFixed, _, outF := rcCircuit(t, tau)
+	resF, err := cFixed.Transient(TranOptions{TStop: window, DT: window / 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trF, err := resF.Trace(outF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t50F, ok := trF.FirstCrossing(1.25, waveform.Rising)
+	if !ok {
+		t.Fatal("fixed: no 50% crossing")
+	}
+
+	cAd, _, outA := rcCircuit(t, tau)
+	tn, err := cAd.StartTransient(TranOptions{DT: window / 700, LTETol: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn.Close()
+	if err := tn.Advance(window); err != nil {
+		t.Fatal(err)
+	}
+	resA := tn.Result()
+	trA, err := resA.Trace(outA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t50A, ok := trA.FirstCrossing(1.25, waveform.Rising)
+	if !ok {
+		t.Fatal("adaptive: no 50% crossing")
+	}
+
+	if d := math.Abs(t50A - t50F); d > 2e-12 {
+		t.Errorf("50%% crossing differs: fixed %.4g adaptive %.4g (|d| = %.3g)", t50F, t50A, d)
+	}
+	if resA.Steps >= resF.Steps/2 {
+		t.Errorf("adaptive took %d steps, fixed %d — expected a large reduction", resA.Steps, resF.Steps)
+	}
+	// Final values agree.
+	if d := math.Abs(trA.Final() - trF.Final()); d > 1e-3 {
+		t.Errorf("final value differs: fixed %.6f adaptive %.6f", trF.Final(), trA.Final())
+	}
+}
+
+// TestAdaptiveEarlyStopAndResume exercises the settle latch and trace
+// extension: a run that settles stops early; Advance with a larger
+// target is a no-op afterwards.
+func TestAdaptiveEarlyStopAndResume(t *testing.T) {
+	tau := 0.05e-9
+	window := 10e-9
+	c, _, out := rcCircuit(t, tau)
+	tn, err := c.StartTransient(TranOptions{
+		DT:        window / 700,
+		LTETol:    1e-3,
+		SettleV:   map[NodeID]float64{out: 2.5},
+		SettleTol: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn.Close()
+	if err := tn.Advance(window); err != nil {
+		t.Fatal(err)
+	}
+	if !tn.Settled() {
+		t.Fatal("expected settle latch for a fast RC in a huge window")
+	}
+	if tn.Now() >= window/2 {
+		t.Errorf("early stop at %.3g — expected far before the %.3g window", tn.Now(), window)
+	}
+	res := tn.Result()
+	if !res.EarlyStop {
+		t.Error("Result.EarlyStop not set")
+	}
+	samplesBefore := len(res.Time)
+	if err := tn.Advance(2 * window); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Time) != samplesBefore {
+		t.Error("Advance after settle latch extended the trace")
+	}
+}
+
+// TestAdaptiveResumeExtendsTrace verifies the no-settle path: the trace
+// after a second Advance continues the first (monotone time, no reset).
+func TestAdaptiveResumeExtendsTrace(t *testing.T) {
+	tau := 1e-9 // slow: will not settle in the first window
+	c, _, out := rcCircuit(t, tau)
+	tn, err := c.StartTransient(TranOptions{
+		DT:        1e-12,
+		LTETol:    1e-3,
+		SettleV:   map[NodeID]float64{out: 2.5},
+		SettleTol: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn.Close()
+	if err := tn.Advance(0.5e-9); err != nil {
+		t.Fatal(err)
+	}
+	res := tn.Result()
+	n1 := len(res.Time)
+	if tn.Settled() {
+		t.Fatal("slow RC settled unexpectedly")
+	}
+	if err := tn.Advance(1.5e-9); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Time) <= n1 {
+		t.Fatal("second Advance did not extend the trace")
+	}
+	for i := 1; i < len(res.Time); i++ {
+		if res.Time[i] <= res.Time[i-1] {
+			t.Fatalf("non-monotone time at sample %d: %g then %g", i-1, res.Time[i-1], res.Time[i])
+		}
+	}
+	if got := res.Time[len(res.Time)-1]; math.Abs(got-1.5e-9) > 1e-15 {
+		t.Errorf("final time %g, want 1.5e-9", got)
+	}
+}
+
+// TestAdaptiveEventAccuracy places a threshold event on the output and
+// checks the adaptive kernel fires it at (nearly) the same time as a
+// fine fixed grid despite taking far fewer steps.
+func TestAdaptiveEventAccuracy(t *testing.T) {
+	window := 2e-9
+	run := func(c *Circuit, out NodeID, adaptive bool) (float64, error) {
+		var fired float64 = math.NaN()
+		ev := &Event{
+			Node:      out,
+			Threshold: 1.0,
+			Dir:       waveform.Rising,
+			Action: func(tv float64, s *State) {
+				fired = tv
+				s.SetV(out, 0.4) // knock the node back (coupling-style jump)
+			},
+		}
+		if !adaptive {
+			_, err := c.Transient(TranOptions{TStop: window, DT: window / 2000, Events: []*Event{ev}})
+			return fired, err
+		}
+		tn, err := c.StartTransient(TranOptions{DT: window / 700, LTETol: 1e-3, Events: []*Event{ev}})
+		if err != nil {
+			return fired, err
+		}
+		defer tn.Close()
+		err = tn.Advance(window)
+		return fired, err
+	}
+
+	cF, _, outF := rcCircuit(t, 0.1e-9)
+	tFixed, err := run(cF, outF, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cA, _, outA := rcCircuit(t, 0.1e-9)
+	tAdapt, err := run(cA, outA, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(tFixed) || math.IsNaN(tAdapt) {
+		t.Fatalf("event did not fire: fixed %v adaptive %v", tFixed, tAdapt)
+	}
+	if d := math.Abs(tAdapt - tFixed); d > 3e-12 {
+		t.Errorf("event time differs: fixed %.4g adaptive %.4g (|d| = %.3g)", tFixed, tAdapt, d)
+	}
+}
+
+// TestWorkspacePoolDeterminism runs the same adaptive simulation twice
+// (the second reusing the pooled workspace) and demands bit-identical
+// traces — pooled scratch must not leak state between runs.
+func TestWorkspacePoolDeterminism(t *testing.T) {
+	run := func() ([]float64, []float64, int) {
+		c, _, out := rcCircuit(t, 0.1e-9)
+		tn, err := c.StartTransient(TranOptions{DT: 1e-12, LTETol: 1e-3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tn.Close()
+		if err := tn.Advance(1e-9); err != nil {
+			t.Fatal(err)
+		}
+		res := tn.Result()
+		tr, err := res.Trace(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Copy out: the backing arrays return to the pool on Close.
+		return append([]float64(nil), tr.T...), append([]float64(nil), tr.V...), res.NewtonIterations
+	}
+	t1, v1, it1 := run()
+	t2, v2, it2 := run()
+	if len(t1) != len(t2) || it1 != it2 {
+		t.Fatalf("runs differ in shape: %d/%d samples, %d/%d iterations", len(t1), len(t2), it1, it2)
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] || v1[i] != v2[i] {
+			t.Fatalf("sample %d differs: (%g, %g) vs (%g, %g)", i, t1[i], v1[i], t2[i], v2[i])
+		}
+	}
+}

@@ -42,6 +42,16 @@ func NewPWL(pts ...waveform.Point) (*PWL, error) {
 	return &PWL{pts: cp}, nil
 }
 
+// Breakpoints implements Breakpointer: every defined point is a slope
+// discontinuity.
+func (p *PWL) Breakpoints() []float64 {
+	ts := make([]float64, len(p.pts))
+	for i, pt := range p.pts {
+		ts[i] = pt.T
+	}
+	return ts
+}
+
 // V implements Source by linear interpolation with boundary hold.
 func (p *PWL) V(t float64) float64 {
 	pts := p.pts
@@ -71,6 +81,15 @@ func (ws WaveSource) V(t float64) float64 { return ws.W.At(t) }
 type RampSource struct {
 	T0, TR float64
 	V0, V1 float64
+}
+
+// Breakpoints implements Breakpointer: the ramp corners at T0 and
+// T0+TR.
+func (r RampSource) Breakpoints() []float64 {
+	if r.TR <= 0 {
+		return []float64{r.T0}
+	}
+	return []float64{r.T0, r.T0 + r.TR}
 }
 
 // V implements Source.

@@ -43,6 +43,10 @@ type Event struct {
 	Action func(t float64, s *State)
 
 	fired bool
+	// localized marks that the adaptive kernel already rejected one
+	// oversized step to land on this event's interpolated crossing time
+	// (one-shot, so an interpolation undershoot cannot loop forever).
+	localized bool
 }
 
 // State is the live solver state handed to event actions.
@@ -90,6 +94,23 @@ type TranOptions struct {
 	MaxNewtonIter int
 	// ForceDense disables the banded solver selection (ablation).
 	ForceDense bool
+
+	// The remaining fields configure the adaptive kernel behind
+	// StartTransient; the fixed-grid Transient ignores them.
+
+	// LTETol is the local-truncation-error tolerance in volts per step.
+	// Required (> 0) by StartTransient: the step controller keeps the
+	// linear-predictor error estimate near LTETol, shrinking steps
+	// through transitions and growing them exponentially in flat tails.
+	LTETol float64
+	// SettleV lists nodes with their expected final voltages. When
+	// SettleTol > 0 and every listed node has stayed within SettleTol of
+	// its target for two consecutive accepted steps (after MinSettleTime,
+	// with every event fired), integration stops early.
+	SettleV   map[NodeID]float64
+	SettleTol float64
+	// MinSettleTime blocks the early-stop latch before this time.
+	MinSettleTime float64
 }
 
 // Result holds the recorded traces of a transient run.
@@ -105,6 +126,14 @@ type Result struct {
 	// NewtonRetries counts timesteps that failed to converge and were
 	// retried with a halved step.
 	NewtonRetries int
+	// Steps counts accepted timesteps; Rejections counts steps redone
+	// because the truncation-error estimate exceeded tolerance (adaptive
+	// kernel only — the fixed grid accepts every converged step).
+	Steps      int
+	Rejections int
+	// EarlyStop reports that the adaptive kernel's settle detector ended
+	// integration before the requested stop time.
+	EarlyStop bool
 }
 
 // Trace returns the recorded trace for a node, or an error when the
@@ -512,6 +541,7 @@ func (c *Circuit) Transient(opts TranOptions) (*Result, error) {
 			tr.rebased = false
 		}
 		record(tNew)
+		res.Steps++
 		t = tNew
 	}
 	res.NewtonIterations = totalIters
