@@ -1,12 +1,30 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-json clean
+# Output file of the bench-json target; override per PR or in CI, e.g.
+#   make bench-json BENCH_OUT=BENCH_ci.json
+BENCH_OUT ?= BENCH_pr3.json
+
+# Baseline the bench gate compares against, and the allowed per-mode
+# delay drift in percent. Delays are deterministic functions of the
+# design, so the tolerance only absorbs FP-level churn from intentional
+# numeric changes; refresh the baseline when one lands.
+BENCH_BASELINE ?= ci/bench_baseline.json
+BENCH_TOL ?= 0.5
+
+.PHONY: all check ci fmt-check vet build test race bench bench-json bench-gate clean
 
 all: check
 
 # The full verification gate: vet, build, tests, and the race detector
 # on the concurrency-sensitive packages.
 check: vet build test race
+
+# Everything CI runs, reproducible locally with one command.
+ci: fmt-check vet build test race bench-gate
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -20,7 +38,7 @@ test:
 # Race-detector pass over the packages with worker concurrency and the
 # shared telemetry instruments.
 race:
-	$(GO) test -race ./internal/core/ ./internal/delaycalc/ ./internal/obs/
+	$(GO) test -race ./internal/core/ ./internal/delaycalc/ ./internal/obs/ ./internal/incremental/
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -28,7 +46,14 @@ bench:
 # Machine-readable five-mode benchmark table (same schema as
 # BENCH_pr1.json, regenerated per PR).
 bench-json:
-	$(GO) run ./cmd/xtalksta -preset s35932 -scale 0.05 -json BENCH_pr2.json
+	$(GO) run ./cmd/xtalksta -preset s35932 -scale 0.05 -json $(BENCH_OUT)
+
+# Regression gate: run the small preset and compare each mode's delay
+# against the checked-in baseline. Fails on drift beyond $(BENCH_TOL)%.
+bench-gate:
+	$(GO) run ./cmd/xtalksta -preset s35932 -scale 0.02 -json BENCH_gate.json >/dev/null
+	$(GO) run ./cmd/benchdiff -base $(BENCH_BASELINE) -new BENCH_gate.json -tol $(BENCH_TOL)
 
 clean:
 	$(GO) clean ./...
+	rm -f BENCH_gate.json

@@ -37,6 +37,7 @@ import (
 	"xtalksta/internal/coupling"
 	"xtalksta/internal/delaycalc"
 	"xtalksta/internal/device"
+	"xtalksta/internal/incremental"
 	"xtalksta/internal/layout"
 	"xtalksta/internal/liberty"
 	"xtalksta/internal/netlist"
@@ -164,6 +165,20 @@ type Design struct {
 	Lib     *device.Library
 	Calc    *delaycalc.Calculator
 	opts    BuildOptions
+	// ECO state: rev counts applied edit batches, eco accumulates the
+	// option-level overrides (cell sizes, PI slews), and ecoLog records
+	// each revision's dirty seeds so Reanalyze can union the seeds
+	// between any stored revision and the current one.
+	rev    uint64
+	eco    incremental.Overrides
+	ecoLog []ecoRecord
+}
+
+// ecoRecord is one applied edit batch: the revision it produced and the
+// nets whose electrical parameters it changed.
+type ecoRecord struct {
+	rev   uint64
+	seeds []netlist.NetID
 }
 
 // FromCircuit lowers the circuit to the transistor-level primitive
@@ -276,16 +291,31 @@ func Generate(params circuitgen.Params, opts BuildOptions) (*Design, error) {
 	return FromCircuit(c, opts)
 }
 
-// Analyze runs one analysis mode.
-func (d *Design) Analyze(opts AnalysisOptions) (*AnalysisResult, error) {
+// applyECO resolves the design-level defaults and overlays the
+// accumulated ECO overrides (cell sizes, PI slews) so every analysis
+// path sees the edited design state.
+func (d *Design) applyECO(opts *AnalysisOptions) {
 	if opts.POCap == 0 {
 		opts.POCap = d.opts.POCap
 	}
+	d.eco.MergeInto(opts)
+}
+
+// Analyze runs one analysis mode.
+func (d *Design) Analyze(opts AnalysisOptions) (*AnalysisResult, error) {
+	d.applyECO(&opts)
 	eng, err := core.NewEngine(d.Circuit, d.Calc, opts)
 	if err != nil {
 		return nil, err
 	}
-	return eng.Run()
+	res, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	if res.Replay != nil {
+		res.Replay.SetRevision(d.rev)
+	}
+	return res, nil
 }
 
 // AnalyzeAll runs all five analyses and returns them in table order.
@@ -319,9 +349,7 @@ type TimingReport = core.TimingReport
 // Report runs an analysis and returns per-endpoint setup slacks against
 // the given clock period (classic report_timing).
 func (d *Design) Report(opts AnalysisOptions, clockPeriod float64) (*TimingReport, error) {
-	if opts.POCap == 0 {
-		opts.POCap = d.opts.POCap
-	}
+	d.applyECO(&opts)
 	eng, err := core.NewEngine(d.Circuit, d.Calc, opts)
 	if err != nil {
 		return nil, err
@@ -347,9 +375,10 @@ func (d *Design) Precharacterize(cfg LUTConfig) (*LUTLibrary, error) {
 // the circuit-level calculator as fallback for arcs the LUT does not
 // cover (clock buffers, π-model wires).
 func (d *Design) AnalyzeLUT(lut *LUTLibrary, opts AnalysisOptions) (*AnalysisResult, error) {
-	if opts.POCap == 0 {
-		opts.POCap = d.opts.POCap
-	}
+	d.applyECO(&opts)
+	// LUT results cannot seed Reanalyze (a seeded run would replay
+	// against the exact calculator, not the interpolated library).
+	opts.DisableReplay = true
 	eng, err := core.NewEngine(d.Circuit, &liberty.Fallback{Primary: lut, Secondary: d.Calc}, opts)
 	if err != nil {
 		return nil, err
@@ -360,7 +389,9 @@ func (d *Design) AnalyzeLUT(lut *LUTLibrary, opts AnalysisOptions) (*AnalysisRes
 // ExportSDF writes a Standard Delay Format annotation with per-arc
 // (best:best:worst-coupled) delay triples.
 func (d *Design) ExportSDF(w io.Writer, design string) error {
-	eng, err := core.NewEngine(d.Circuit, d.Calc, AnalysisOptions{Mode: BestCase, POCap: d.opts.POCap})
+	opts := AnalysisOptions{Mode: BestCase, POCap: d.opts.POCap, DisableReplay: true}
+	d.applyECO(&opts)
+	eng, err := core.NewEngine(d.Circuit, d.Calc, opts)
 	if err != nil {
 		return err
 	}
@@ -373,9 +404,7 @@ type HoldReport = core.HoldReport
 // ReportHold computes earliest arrivals and checks them against the
 // flip-flop hold requirement.
 func (d *Design) ReportHold(opts AnalysisOptions, holdTime float64) (*HoldReport, error) {
-	if opts.POCap == 0 {
-		opts.POCap = d.opts.POCap
-	}
+	d.applyECO(&opts)
 	eng, err := core.NewEngine(d.Circuit, d.Calc, opts)
 	if err != nil {
 		return nil, err
@@ -396,9 +425,10 @@ type CornerResult struct {
 // process corners (device parameters varied; the extracted interconnect
 // is kept, as corner extraction is a separate axis).
 func (d *Design) AnalyzeCorners(opts AnalysisOptions) ([]CornerResult, error) {
-	if opts.POCap == 0 {
-		opts.POCap = d.opts.POCap
-	}
+	d.applyECO(&opts)
+	// Corner results use corner-specific calculators; a seeded replay
+	// against the typical calculator would be wrong, so capture is off.
+	opts.DisableReplay = true
 	var out []CornerResult
 	for _, corner := range device.Corners() {
 		p := d.Proc.AtCorner(corner)
@@ -432,9 +462,10 @@ type SizingConfig = opt.Config
 // timing-driven optimization loop on top of the crosstalk-aware
 // analyses.
 func (d *Design) FixTiming(opts AnalysisOptions, clockPeriod float64, cfg SizingConfig) (*SizingResult, error) {
-	if opts.POCap == 0 {
-		opts.POCap = d.opts.POCap
-	}
+	d.applyECO(&opts)
+	// The optimizer's inner analyses never seed a Reanalyze; skip the
+	// per-pass state capture.
+	opts.DisableReplay = true
 	return opt.FixTiming(d.Circuit, d.Calc, opts, clockPeriod, cfg)
 }
 
@@ -503,4 +534,148 @@ func (d *Design) PaperTableOpts(title string, withGolden bool, base AnalysisOpti
 // Stats returns circuit statistics for reporting.
 func (d *Design) Stats() (netlist.Stats, error) {
 	return d.Circuit.Stats()
+}
+
+// ---------------------------------------------------------------------------
+// ECO / incremental re-analysis
+// ---------------------------------------------------------------------------
+
+// Edit is one incremental design change (an ECO step): a coupling-cap
+// adjustment, a gate resize, or a primary-input slew change. Build
+// edits with the constructor helpers below and apply them with
+// Design.Edit or Design.Reanalyze.
+type Edit = incremental.Edit
+
+// ECOStats summarizes the work a seeded re-analysis did (dirty lines
+// re-evaluated) and skipped (clean lines reused from the previous run).
+type ECOStats = core.ECOStats
+
+// ReplayState is the per-pass state snapshot a full analysis attaches
+// to its result; it is what makes a later Reanalyze bit-exact.
+type ReplayState = core.ReplayState
+
+// ScaleCoupling multiplies the coupling capacitance between nets a and
+// b by factor.
+func ScaleCoupling(a, b string, factor float64) Edit {
+	return Edit{Op: incremental.OpScaleCoupling, A: a, B: b, Value: factor}
+}
+
+// SetCoupling sets the total coupling capacitance between nets a and b
+// to c farads.
+func SetCoupling(a, b string, c float64) Edit {
+	return Edit{Op: incremental.OpSetCoupling, A: a, B: b, Value: c}
+}
+
+// AddCoupling introduces a new coupling of c farads between nets a and
+// b (e.g. a reroute bringing two wires adjacent).
+func AddCoupling(a, b string, c float64) Edit {
+	return Edit{Op: incremental.OpAddCoupling, A: a, B: b, Value: c}
+}
+
+// RemoveCoupling deletes the coupling between nets a and b.
+func RemoveCoupling(a, b string) Edit {
+	return Edit{Op: incremental.OpRemoveCoupling, A: a, B: b}
+}
+
+// DecoupleNet removes every coupling touching the net (shield
+// insertion).
+func DecoupleNet(net string) Edit {
+	return Edit{Op: incremental.OpDecoupleNet, A: net}
+}
+
+// ResizeCell sets the drive-strength multiplier of a combinational
+// cell.
+func ResizeCell(cell string, mult float64) Edit {
+	return Edit{Op: incremental.OpResizeCell, Cell: cell, Value: mult}
+}
+
+// SetInputSlew overrides the transition time at a primary input.
+func SetInputSlew(net string, slew float64) Edit {
+	return Edit{Op: incremental.OpSetInputSlew, A: net, Value: slew}
+}
+
+// Revision returns the number of edit batches applied to the design so
+// far. Analysis results carry the revision they were produced at, and
+// Reanalyze re-runs exactly the cone dirtied between the result's
+// revision and the current one.
+func (d *Design) Revision() uint64 { return d.rev }
+
+// Edit applies a batch of design edits atomically — either every edit
+// lands and the design revision advances by one, or the circuit is left
+// untouched and an error describes the first invalid edit. The edits
+// affect every subsequent analysis; pair with Reanalyze to re-run
+// incrementally instead of from scratch.
+func (d *Design) Edit(edits ...Edit) error {
+	_, err := d.applyEdits(edits, nil, nil)
+	return err
+}
+
+func (d *Design) applyEdits(edits []Edit, reg *obs.Registry, tr *obs.Tracer) ([]netlist.NetID, error) {
+	if len(edits) == 0 {
+		return nil, nil
+	}
+	seeds, err := incremental.Apply(d.Circuit, &d.eco, edits, reg, tr)
+	if err != nil {
+		return nil, err
+	}
+	d.rev++
+	d.ecoLog = append(d.ecoLog, ecoRecord{rev: d.rev, seeds: seeds})
+	return seeds, nil
+}
+
+// Reanalyze applies the edit batch (may be empty if edits were already
+// applied via Edit) and re-runs the analysis that produced prev,
+// re-evaluating only the lines reachable from the edits — the
+// structural fan-out cones of the edited nodes plus every victim
+// coupled to a dirty aggressor under the same quiescent-time test the
+// full analysis uses. All other lines are seeded from prev's stored
+// state. The returned result is bit-identical to a from-scratch
+// Analyze of the edited design.
+//
+// prev must come from Analyze (or a previous Reanalyze) on this
+// design; results from AnalyzeLUT or AnalyzeCorners carry no replay
+// state and are rejected. If the design revision already matches
+// prev's and no edits are given, prev is returned unchanged.
+func (d *Design) Reanalyze(prev *AnalysisResult, edits []Edit) (*AnalysisResult, error) {
+	if prev == nil || prev.Replay == nil {
+		return nil, fmt.Errorf("xtalksta: Reanalyze requires a result from Analyze on this design (no replay state attached)")
+	}
+	rs := prev.Replay
+	if rs.Revision() > d.rev {
+		return nil, fmt.Errorf("xtalksta: result revision %d is newer than design revision %d", rs.Revision(), d.rev)
+	}
+	if rs.Nets() != len(d.Circuit.Nets) {
+		return nil, fmt.Errorf("xtalksta: design has %d nets but the result was analyzed with %d", len(d.Circuit.Nets), rs.Nets())
+	}
+	opts := rs.Options()
+	if _, err := d.applyEdits(edits, opts.Metrics, opts.Trace); err != nil {
+		return nil, err
+	}
+	if d.rev == rs.Revision() {
+		return prev, nil
+	}
+	// Union the dirty seeds of every batch applied after prev's run.
+	seed := make([]bool, rs.Nets())
+	for _, rec := range d.ecoLog {
+		if rec.rev <= rs.Revision() {
+			continue
+		}
+		for _, id := range rec.seeds {
+			seed[id-1] = true
+		}
+	}
+	d.eco.MergeInto(&opts)
+	eng, err := core.NewEngine(d.Circuit, d.Calc, opts)
+	if err != nil {
+		return nil, err
+	}
+	eng.SeedBCS(rs, seed)
+	res, err := eng.RunSeeded(rs, seed)
+	if err != nil {
+		return nil, err
+	}
+	if res.Replay != nil {
+		res.Replay.SetRevision(d.rev)
+	}
+	return res, nil
 }

@@ -1,0 +1,102 @@
+// Command benchdiff compares two bench result JSON files (as written by
+// `xtalksta -json` / `make bench-json`) and fails when any mode's delay
+// drifts beyond the tolerance. CI runs it against a checked-in baseline
+// so behavioral regressions in the analyses are caught at the gate, not
+// after merge.
+//
+// Usage:
+//
+//	benchdiff -base ci/bench_baseline.json -new BENCH.json -tol 0.5
+//
+// Runtime and arc-evaluation counts are reported but never gated: they
+// vary with hardware and scheduling. Delays are pure functions of the
+// design and must not move.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+type benchFile struct {
+	Circuit string `json:"circuit"`
+	Rows    []struct {
+		Method      string  `json:"method"`
+		DelayNs     float64 `json:"delay_ns"`
+		RuntimeMs   float64 `json:"runtime_ms"`
+		Passes      int     `json:"passes"`
+		Evaluations int64   `json:"arc_evaluations"`
+	} `json:"rows"`
+}
+
+func load(path string) (*benchFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no result rows", path)
+	}
+	return &f, nil
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline bench JSON")
+	newPath := flag.String("new", "", "candidate bench JSON")
+	tol := flag.Float64("tol", 0.5, "allowed per-mode delay drift in percent")
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -base and -new are required")
+		os.Exit(2)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cand, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	got := make(map[string]float64, len(cand.Rows))
+	for _, r := range cand.Rows {
+		got[r.Method] = r.DelayNs
+	}
+
+	fail := false
+	fmt.Printf("%-22s %12s %12s %9s\n", "mode", "base ns", "new ns", "drift %")
+	for _, r := range base.Rows {
+		nd, ok := got[r.Method]
+		if !ok {
+			fmt.Printf("%-22s %12.4f %12s %9s  MISSING\n", r.Method, r.DelayNs, "-", "-")
+			fail = true
+			continue
+		}
+		drift := 0.0
+		if r.DelayNs != 0 {
+			drift = 100 * math.Abs(nd-r.DelayNs) / math.Abs(r.DelayNs)
+		} else if nd != 0 {
+			drift = math.Inf(1)
+		}
+		mark := ""
+		if drift > *tol {
+			mark = "  DRIFT"
+			fail = true
+		}
+		fmt.Printf("%-22s %12.4f %12.4f %9.3f%s\n", r.Method, r.DelayNs, nd, drift, mark)
+	}
+	if fail {
+		fmt.Fprintf(os.Stderr, "benchdiff: delays drifted beyond %.2f%% of %s\n", *tol, *basePath)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: all modes within %.2f%% of baseline\n", *tol)
+}

@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -30,6 +32,7 @@ import (
 
 	"xtalksta"
 	"xtalksta/internal/circuitgen"
+	"xtalksta/internal/incremental"
 	"xtalksta/internal/netlist"
 	"xtalksta/internal/vcd"
 )
@@ -76,6 +79,12 @@ func run() error {
 		noiseFlag = flag.Bool("noise", false, "print the crosstalk glitch (functional noise) report")
 		fix       = flag.Bool("fix", false, "run the gate-sizing optimizer against -clock (requires -mode and -clock)")
 		goldenVCD = flag.String("goldenvcd", "", "with -golden: dump the aligned path waveforms to this VCD file")
+
+		ecoPath   = flag.String("eco", "", "replay ECO edit batches from this JSON file incrementally (requires -mode)")
+		ecoRandom = flag.Int("eco-random", 0, "replay this many random ECO edit batches (requires -mode)")
+		ecoSeed   = flag.Int64("eco-seed", 1, "rng seed for -eco-random")
+		ecoEdits  = flag.Int("eco-edits", 4, "edits per random batch for -eco-random")
+		ecoVerify = flag.Bool("eco-verify", false, "cross-check every incremental result against a from-scratch run")
 
 		lteTol      = flag.Float64("lte-tol", 0, "adaptive-timestep truncation-error tolerance in volts (0 = default 1e-3)")
 		cacheShards = flag.Int("cache-shards", 0, "lock stripes of the characterization cache, rounded up to a power of two (0 = default 8)")
@@ -180,12 +189,22 @@ func run() error {
 		fmt.Println()
 	}
 
+	if (*ecoPath != "" || *ecoRandom > 0) && *mode == "" {
+		return fmt.Errorf("-eco/-eco-random require -mode (incremental replay is per-analysis)")
+	}
+
 	if *mode != "" {
 		m, err := parseMode(*mode)
 		if err != nil {
 			return err
 		}
 		aopts.Mode = m
+		if *ecoPath != "" || *ecoRandom > 0 {
+			if *fix || *clock > 0 {
+				return fmt.Errorf("-eco/-eco-random cannot be combined with -fix or -clock")
+			}
+			return runECO(d, aopts, *ecoPath, *ecoRandom, *ecoSeed, *ecoEdits, *ecoVerify)
+		}
 		if *fix {
 			if *clock <= 0 {
 				return fmt.Errorf("-fix requires -clock")
@@ -274,6 +293,89 @@ func run() error {
 			fmt.Println("  -", s)
 		}
 	}
+	return nil
+}
+
+// runECO is the incremental replay flow: one full analysis establishes
+// the baseline, then each edit batch is applied and re-analyzed with
+// Design.Reanalyze, printing the dirty/reused line counts, the delay
+// movement, and the wall time per revision. With -eco-verify every
+// incremental result is additionally bit-compared against a
+// from-scratch analysis of the edited design.
+func runECO(d *xtalksta.Design, aopts xtalksta.AnalysisOptions, path string, random int, seed int64, perBatch int, verify bool) error {
+	var batches [][]xtalksta.Edit
+	if path != "" {
+		b, err := incremental.LoadBatches(path)
+		if err != nil {
+			return err
+		}
+		batches = b
+	}
+	if random > 0 {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < random; i++ {
+			if b := incremental.RandomBatch(d.Circuit, rng, perBatch); len(b) > 0 {
+				batches = append(batches, b)
+			}
+		}
+	}
+	if len(batches) == 0 {
+		return fmt.Errorf("no ECO batches to replay")
+	}
+
+	t0 := time.Now()
+	res, err := d.Analyze(aopts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline %s: longest %.4f ns, %d passes, %v (cache: %d entries)\n",
+		res.Mode, res.LongestPath*1e9, res.Passes, time.Since(t0).Round(time.Millisecond),
+		d.Calc.CacheEntries())
+
+	for i, batch := range batches {
+		for _, e := range batch {
+			fmt.Printf("  rev %d: %s\n", d.Revision()+1, e)
+		}
+		t1 := time.Now()
+		next, err := d.Reanalyze(res, batch)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(t1)
+		delta := (next.LongestPath - res.LongestPath) * 1e9
+		if eco := next.ECO; eco != nil {
+			total := eco.DirtyLines + eco.ReusedLines
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(eco.DirtyLines) / float64(total)
+			}
+			tag := ""
+			if eco.FullFallback {
+				tag = " [full fallback]"
+			}
+			fmt.Printf("batch %d/%d: longest %.4f ns (%+.4f ns), %d dirty / %d reused lines (%.1f%% re-evaluated), %d cone expansions, %v%s\n",
+				i+1, len(batches), next.LongestPath*1e9, delta,
+				eco.DirtyLines, eco.ReusedLines, pct, eco.ConeExpansions,
+				wall.Round(time.Microsecond), tag)
+		} else {
+			fmt.Printf("batch %d/%d: longest %.4f ns (%+.4f ns), %v\n",
+				i+1, len(batches), next.LongestPath*1e9, delta, wall.Round(time.Microsecond))
+		}
+		if verify {
+			full, err := d.Analyze(aopts)
+			if err != nil {
+				return err
+			}
+			if math.Float64bits(full.LongestPath) != math.Float64bits(next.LongestPath) {
+				return fmt.Errorf("batch %d: incremental longest path %.9g ns != from-scratch %.9g ns",
+					i+1, next.LongestPath*1e9, full.LongestPath*1e9)
+			}
+			fmt.Printf("  verified: bit-identical to from-scratch run\n")
+		}
+		res = next
+	}
+	fmt.Printf("final: longest %.4f ns at revision %d (cache: %d entries)\n",
+		res.LongestPath*1e9, d.Revision(), d.Calc.CacheEntries())
 	return nil
 }
 

@@ -100,6 +100,9 @@ type Options struct {
 	// PISlew is the transition time assumed at primary inputs (default
 	// 0.2 ns).
 	PISlew float64
+	// PISlews overrides the input transition time per primary input
+	// (ECO input-slew edits); nets absent from the map use PISlew.
+	PISlews map[netlist.NetID]float64
 	// DFFOutSlew is the transition time of flip-flop outputs (default
 	// 0.15 ns).
 	DFFOutSlew float64
@@ -114,6 +117,11 @@ type Options struct {
 	// exact — keyed on the unquantized input slew — so reuse never
 	// changes results, only skips redundant evaluator calls.
 	DisableBCSReuse bool
+	// DisableReplay turns off the per-pass state capture that feeds
+	// Result.Replay (the seed for RunSeeded). Analyses that never feed
+	// an incremental re-run — optimizer inner loops, corner sweeps —
+	// should disable it to avoid the per-pass state copies.
+	DisableReplay bool
 	// Metrics, when set, receives engine-wide counters (arc
 	// evaluations, Newton iterations, coupling decisions, esperance
 	// skips, per-level worker utilization, ...) under the obs.M* names.
@@ -225,6 +233,11 @@ type Result struct {
 	// WireDelayOnLongestPath sums the Elmore wire delays along the
 	// reported path (the §6 wire-vs-coupling comparison).
 	WireDelayOnLongestPath float64
+	// Replay is the stored per-pass state an incremental re-analysis
+	// seeds clean lines from (nil when Options.DisableReplay is set).
+	Replay *ReplayState
+	// ECO is the work breakdown of a seeded run (nil for full runs).
+	ECO *ECOStats
 }
 
 // Engine analyzes one extracted circuit.
@@ -257,6 +270,13 @@ type Engine struct {
 	clockLevels [][]netlist.CellID
 	mainLevels  [][]netlist.CellID
 	netRank     []int
+	// clockSinks maps a clock net to the flip-flops it clocks, for
+	// dirty-cone expansion through launch seeding (eco.go).
+	clockSinks map[netlist.NetID][]netlist.CellID
+	// Replay capture (eco.go): per-pass state copies and the raw
+	// min-pass outputs, reset per analysis, harvested by takeReplay.
+	replayPasses             [][]netState
+	replayEarly, replaySlews [][2]float64
 	// clockLeafArrival maps a DFF cell to its clock-pin arrival.
 	endpoints []endpointRef
 }
@@ -308,7 +328,22 @@ func NewEngine(c *netlist.Circuit, calc delaycalc.Evaluator, opts Options) (*Eng
 	}
 	e.buildEndpoints()
 	e.buildLevels()
+	e.clockSinks = make(map[netlist.NetID][]netlist.CellID)
+	for _, cell := range c.Cells {
+		if cell.Kind == netlist.DFF && cell.Clock != netlist.NoNet {
+			e.clockSinks[cell.Clock] = append(e.clockSinks[cell.Clock], cell.ID)
+		}
+	}
 	return e, nil
+}
+
+// piSlewFor returns the input transition time of a primary input,
+// honoring per-net ECO overrides.
+func (e *Engine) piSlewFor(net netlist.NetID) float64 {
+	if s, ok := e.opts.PISlews[net]; ok && s > 0 {
+		return s
+	}
+	return e.opts.PISlew
 }
 
 // sizeOf returns the effective drive-strength multiplier of a cell.
@@ -425,6 +460,7 @@ func (e *Engine) Run() (*Result, error) {
 	res.Passes = passes
 	res.PassStats = append([]PassStat(nil), e.passStats...)
 	e.finish(res, st)
+	res.Replay = e.takeReplay()
 
 	res.Runtime = time.Since(start)
 	res.ArcEvaluations, res.Simulations = e.Calc.Stats()

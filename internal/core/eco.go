@@ -1,0 +1,624 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"xtalksta/internal/ccc"
+	"xtalksta/internal/netlist"
+)
+
+// Incremental (ECO) re-analysis.
+//
+// A full analysis stores its per-pass net states (ReplayState); a
+// seeded re-run then recomputes only the dirty set — the nets whose
+// electrical parameters an edit batch changed (the seeds), grown by
+//
+//   - the structural fan-out cone: a recomputed net whose state
+//     diverged from the stored pass dirties the cells it feeds (and,
+//     through launch seeding, the flip-flops it clocks), and
+//   - coupled victims: in the first (one-step) pass a victim reads the
+//     current-pass quiescent times of lower-rank neighbors, so a
+//     diverged aggressor dirties every higher-rank victim; in
+//     refinement passes every neighbor's previous-pass quiescent time
+//     is read, so a net that diverged in pass k dirties all its
+//     coupled victims in pass k+1 regardless of rank.
+//
+// Clean nets are seeded from the stored pass states, which makes the
+// merged result bit-identical to a from-scratch run: the expansion rule
+// above covers exactly the reads evalArc/processCell perform, so any
+// net left clean would have recomputed to its stored value anyway.
+
+// ReplayState is the stored trajectory of one analysis: the per-pass
+// net states, the raw min-pass bounds (Windows runs), and the best-case
+// arc cache. It is immutable once attached to a Result.
+type ReplayState struct {
+	mode Mode
+	opts Options
+	nets int
+	// passes holds a deep copy of the net states after each BFS sweep.
+	passes [][]netState
+	// early/slews are the raw (pre-conversion) min-pass outputs when
+	// Options.Windows was active.
+	early, slews [][2]float64
+	// bcs is a copy of the cross-pass best-case arc cache at the end of
+	// the run, reusable across revisions for electrically unchanged nets.
+	bcs [][]bcsEntry
+	rev uint64
+}
+
+// Mode returns the analysis mode the state was captured under.
+func (rs *ReplayState) Mode() Mode { return rs.mode }
+
+// Options returns the options of the captured run. Callers must treat
+// the contained maps as read-only.
+func (rs *ReplayState) Options() Options { return rs.opts }
+
+// Revision identifies the design revision the state was computed at
+// (stamped by the API layer; 0 for standalone engine runs).
+func (rs *ReplayState) Revision() uint64 { return rs.rev }
+
+// SetRevision stamps the design revision (API layer bookkeeping).
+func (rs *ReplayState) SetRevision(rev uint64) { rs.rev = rev }
+
+// Nets returns the net count of the captured circuit.
+func (rs *ReplayState) Nets() int { return rs.nets }
+
+// Passes returns the number of stored BFS sweeps.
+func (rs *ReplayState) Passes() int { return len(rs.passes) }
+
+// FinalArrivals returns a copy of the final-pass 50% arrival times per
+// (net, dir) — the exactness witnesses the property tests compare.
+func (rs *ReplayState) FinalArrivals() [][2]float64 {
+	return rs.finalField(func(s *netState) [2]float64 { return s.arrival })
+}
+
+// FinalSlews returns a copy of the final-pass slews per (net, dir).
+func (rs *ReplayState) FinalSlews() [][2]float64 {
+	return rs.finalField(func(s *netState) [2]float64 { return s.slew })
+}
+
+// FinalQuiets returns a copy of the final-pass quiescent times per
+// (net, dir).
+func (rs *ReplayState) FinalQuiets() [][2]float64 {
+	return rs.finalField(func(s *netState) [2]float64 { return s.quiet })
+}
+
+func (rs *ReplayState) finalField(get func(*netState) [2]float64) [][2]float64 {
+	if len(rs.passes) == 0 {
+		return nil
+	}
+	last := rs.passes[len(rs.passes)-1]
+	out := make([][2]float64, len(last))
+	for i := range last {
+		out[i] = get(&last[i])
+	}
+	return out
+}
+
+// takeReplay harvests the capture buffers into a ReplayState and clears
+// them. Returns nil when capture was disabled or nothing was captured.
+func (e *Engine) takeReplay() *ReplayState {
+	if e.opts.DisableReplay || len(e.replayPasses) == 0 {
+		return nil
+	}
+	rs := &ReplayState{
+		mode:   e.opts.Mode,
+		opts:   e.opts,
+		nets:   len(e.C.Nets),
+		passes: e.replayPasses,
+		early:  e.replayEarly,
+		slews:  e.replaySlews,
+	}
+	if e.bcs != nil {
+		rs.bcs = make([][]bcsEntry, len(e.bcs))
+		for i, row := range e.bcs {
+			if row != nil {
+				rs.bcs[i] = append([]bcsEntry(nil), row...)
+			}
+		}
+	}
+	e.replayPasses, e.replayEarly, e.replaySlews = nil, nil, nil
+	return rs
+}
+
+// ECOStats is the work breakdown of one seeded re-analysis.
+type ECOStats struct {
+	// DirtyLines counts driven lines re-evaluated across all passes;
+	// ReusedLines counts the lines seeded from the stored passes.
+	DirtyLines, ReusedLines int64
+	// ConeExpansions counts dirty-set growth beyond the initial seeds
+	// (fan-out cones, clocked flip-flops and coupling victims).
+	ConeExpansions int64
+	// MinPassDirty counts lines re-evaluated by the seeded min-pass
+	// (Windows runs only).
+	MinPassDirty int64
+	// FullFallback reports that the run could not be seeded (Esperance
+	// mode, or a topology where seeding is unsound) and ran from
+	// scratch instead.
+	FullFallback bool
+}
+
+// SeedBCS warms the cross-pass best-case arc cache from a previous
+// revision's replay. exclude masks nets whose electrical parameters
+// changed; their cached results would be stale. Safe on any engine: the
+// cache is keyed on the exact input slew, so a stale-slew entry is
+// never consulted, and excluded nets simply recompute.
+func (e *Engine) SeedBCS(prev *ReplayState, exclude []bool) {
+	if e.bcs == nil || prev == nil || prev.bcs == nil || len(prev.bcs) != len(e.bcs) {
+		return
+	}
+	for i := range e.bcs {
+		if exclude != nil && i < len(exclude) && exclude[i] {
+			continue
+		}
+		if e.bcs[i] == nil || len(prev.bcs[i]) != len(e.bcs[i]) {
+			continue
+		}
+		copy(e.bcs[i], prev.bcs[i])
+	}
+}
+
+// seedableTopology reports whether replay seeding preserves the full
+// sweep's phase-visibility semantics. Clock-phase cells and DFF clock
+// pins run before the main phase and therefore see main-phase nets as
+// uncalculated; a seeded run presents end-of-pass state instead, so any
+// clock-phase read of a non-clock, non-PI net forces a full fallback.
+func (e *Engine) seedableTopology() bool {
+	visible := func(id netlist.NetID) bool {
+		n := e.C.Net(id)
+		return n.IsPI || n.IsClock
+	}
+	for _, level := range e.clockLevels {
+		for _, cid := range level {
+			for _, in := range e.C.Cell(cid).In {
+				if !visible(in) {
+					return false
+				}
+			}
+		}
+	}
+	for _, cell := range e.C.Cells {
+		if cell.Kind == netlist.DFF && cell.Clock != netlist.NoNet && !visible(cell.Clock) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunSeeded executes the configured analysis reusing a previous
+// revision's ReplayState. seed flags (by NetID−1) the nets whose
+// electrical parameters changed since that revision: edited coupling
+// pairs (both sides), resized cells' output and input nets, and edited
+// primary inputs. The result is bit-identical to Run on the edited
+// circuit; only the work differs (see Result.ECO).
+func (e *Engine) RunSeeded(prev *ReplayState, seed []bool) (*Result, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("core: RunSeeded: nil replay state")
+	}
+	if prev.nets != len(e.C.Nets) {
+		return nil, fmt.Errorf("core: RunSeeded: replay has %d nets, circuit has %d (structural edits need a full run)", prev.nets, len(e.C.Nets))
+	}
+	if prev.mode != e.opts.Mode {
+		return nil, fmt.Errorf("core: RunSeeded: replay was captured in %s mode, engine runs %s", prev.mode, e.opts.Mode)
+	}
+	if len(seed) != len(e.C.Nets) {
+		return nil, fmt.Errorf("core: RunSeeded: seed mask has %d entries, want %d", len(seed), len(e.C.Nets))
+	}
+	start := time.Now()
+	e.Calc.ResetStats()
+	res := &Result{Mode: e.opts.Mode}
+	eco := &ECOStats{}
+	seed = e.structuralCone(seed, eco)
+
+	var (
+		st     []netState
+		passes int
+		err    error
+	)
+	if (e.opts.Mode == Iterative && e.opts.Esperance) || !e.seedableTopology() {
+		// Esperance's critical mask is a function of the global longest
+		// path, not of local dirty cones — a seeded run cannot reproduce
+		// which nets the full run would have skipped. Fall back.
+		eco.FullFallback = true
+		e.m.ecoFallbacks.Inc()
+		st, passes, err = e.finalState()
+	} else {
+		st, passes, err = e.seededState(prev, seed, eco)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Passes = passes
+	res.PassStats = append([]PassStat(nil), e.passStats...)
+	e.finish(res, st)
+	res.ECO = eco
+	res.Replay = e.takeReplay()
+	if res.Replay != nil {
+		res.Replay.rev = prev.rev
+	}
+	res.Runtime = time.Since(start)
+	res.ArcEvaluations, res.Simulations = e.Calc.Stats()
+	return res, nil
+}
+
+// structuralCone closes the seed mask over structural fan-out: every
+// line fed (transitively) by a seeded net is dirty up front, matching
+// the dirty-set definition (union of fan-out cones of the edited
+// nodes). Coupling victims are NOT part of the structural cone — they
+// join the dirty set during the passes, when the quiescent-time test
+// shows a dirty aggressor actually influences them (see DESIGN.md §9).
+// Over-seeding is always exact: a dirty line recomputes from the same
+// inputs the full run sees, so an unchanged line reproduces its stored
+// value. Returns a fresh mask; the caller's slice is not mutated.
+func (e *Engine) structuralCone(seed []bool, eco *ECOStats) []bool {
+	cone := append([]bool(nil), seed...)
+	var queue []netlist.NetID
+	for i, s := range seed {
+		if s {
+			queue = append(queue, netlist.NetID(i+1))
+		}
+	}
+	mark := func(id netlist.NetID) {
+		if !cone[id-1] {
+			cone[id-1] = true
+			eco.ConeExpansions++
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		net := queue[0]
+		queue = queue[1:]
+		for _, ref := range e.C.Net(net).Fanout {
+			cell := e.C.Cell(ref.Cell)
+			if cell.Kind == netlist.DFF || cell.Out == netlist.NoNet {
+				continue
+			}
+			mark(cell.Out)
+		}
+		for _, dff := range e.clockSinks[net] {
+			if out := e.C.Cell(dff).Out; out != netlist.NoNet {
+				mark(out)
+			}
+		}
+	}
+	e.m.ecoExpansions.Add(eco.ConeExpansions)
+	return cone
+}
+
+// seededState mirrors finalState's telemetry scope for seeded runs.
+func (e *Engine) seededState(prev *ReplayState, seed []bool, eco *ECOStats) ([]netState, int, error) {
+	e.passStats = nil
+	e.replayPasses, e.replayEarly, e.replaySlews = nil, nil, nil
+	c0 := e.calcCounters()
+	span := e.trace.Begin("eco-analysis", 0).Arg("mode", e.opts.Mode.String())
+	st, passes, err := e.runPassesSeeded(prev, seed, eco)
+	span.Arg("passes", passes).
+		Arg("dirty_lines", eco.DirtyLines).
+		Arg("reused_lines", eco.ReusedLines).
+		Arg("cone_expansions", eco.ConeExpansions).
+		End()
+	d := e.calcCounters().Sub(c0)
+	e.m.arcEvals.Add(d.Requests)
+	e.m.sims.Add(d.Simulations)
+	e.m.newtonIters.Add(d.NewtonIterations)
+	e.m.newtonFails.Add(d.NewtonFailures)
+	return st, passes, err
+}
+
+// runPassesSeeded is runPasses with replay seeding: identical pass
+// control (including the Iterative stop rule, which sees the same
+// merged states and therefore the same longest-path trajectory).
+func (e *Engine) runPassesSeeded(prev *ReplayState, seed []bool, eco *ECOStats) ([]netState, int, error) {
+	mode := e.opts.Mode
+	var earlyVictims []netlist.NetID
+	if mode == Iterative {
+		if e.opts.Windows {
+			if prev.early == nil {
+				return nil, 0, fmt.Errorf("core: RunSeeded: replay lacks min-pass data (captured without Windows?)")
+			}
+			sp := e.trace.Begin("eco-min-pass", 0)
+			early, slews, earlyChanged, err := e.minPassSeeded(prev, seed, eco)
+			sp.End()
+			if err != nil {
+				return nil, 0, err
+			}
+			if !e.opts.DisableReplay {
+				e.replayEarly, e.replaySlews = early, slews
+			}
+			e.earliestStart = startTimes(early, slews)
+			// A moved earliest-activity bound re-opens the window pruning
+			// question for every coupled victim of that net, in every
+			// refinement pass.
+			seen := make(map[netlist.NetID]bool)
+			for i, ch := range earlyChanged {
+				if !ch {
+					continue
+				}
+				for _, cp := range e.C.Net(netlist.NetID(i + 1)).Par.Couplings {
+					if !seen[cp.Other] {
+						seen[cp.Other] = true
+						earlyVictims = append(earlyVictims, cp.Other)
+					}
+				}
+			}
+		} else {
+			e.earliestStart = nil
+		}
+	}
+
+	firstMode := mode
+	if mode == Iterative {
+		firstMode = OneStep
+	}
+	ec := e.newEcoPass(prev, 0, seed)
+	ph := e.beginPass(1, firstMode)
+	st, err := e.passSeeded(firstMode, nil, ec)
+	if err != nil {
+		return nil, 0, err
+	}
+	delay := e.endPass(ph, st)
+	e.accumulateECO(ec, eco)
+	if mode != Iterative {
+		return st, 1, nil
+	}
+	passes := 1
+	prevChanged := ec.changed
+	for passes < e.opts.MaxPasses {
+		ec := e.newEcoPass(prev, passes, seed)
+		e.seedRefinementDirty(ec, prevChanged, earlyVictims)
+		ph := e.beginPass(passes+1, Iterative)
+		st2, err := e.passSeeded(Iterative, snapshotQuiet(st), ec)
+		if err != nil {
+			return nil, 0, err
+		}
+		passes++
+		newDelay := e.endPass(ph, st2)
+		e.accumulateECO(ec, eco)
+		st = st2
+		prevChanged = ec.changed
+		if newDelay >= delay-1e-12 {
+			break
+		}
+		delay = newDelay
+	}
+	return st, passes, nil
+}
+
+// ecoPass tracks one seeded sweep's dirty and diverged sets. dirty is
+// written only on the driver goroutine (initial seeding and level
+// barriers); changed is written by at most one worker per index (the
+// cell owner) and read on the driver at barriers — WaitGroup ordering
+// makes both race-free.
+type ecoPass struct {
+	// orig is the stored state of the matching pass (nil once the
+	// seeded run outlives the stored trajectory; every net is then
+	// recomputed, which remains exact).
+	orig    []netState
+	dirty   []bool
+	changed []bool
+	// pass1 enables the one-step victim rule: a diverged net's
+	// higher-rank coupled victims read its current-pass quiescent time
+	// and must re-classify.
+	pass1           bool
+	expansions      int64
+	dirtyN, reusedN atomic.Int64
+}
+
+func (e *Engine) newEcoPass(prev *ReplayState, passIdx int, seed []bool) *ecoPass {
+	n := len(e.C.Nets)
+	mode := e.opts.Mode
+	ec := &ecoPass{
+		changed: make([]bool, n),
+		dirty:   make([]bool, n),
+		pass1:   passIdx == 0 && (mode == OneStep || mode == Iterative),
+	}
+	if passIdx < len(prev.passes) {
+		ec.orig = prev.passes[passIdx]
+		copy(ec.dirty, seed)
+	} else {
+		for i := range ec.dirty {
+			ec.dirty[i] = true
+		}
+	}
+	return ec
+}
+
+// mark adds a net to the dirty set, counting growth beyond the seeds.
+func (ec *ecoPass) mark(id netlist.NetID) {
+	if ec.dirty[id-1] {
+		return
+	}
+	ec.dirty[id-1] = true
+	ec.expansions++
+}
+
+// ecoExpand grows the dirty set from a net whose recomputed state
+// diverged: the cells it feeds, the flip-flops it clocks, and — in the
+// first pass — its higher-rank coupled victims (which read its
+// current-pass quiescent time through the one-step rule).
+func (e *Engine) ecoExpand(ec *ecoPass, net netlist.NetID) {
+	n := e.C.Net(net)
+	for _, pr := range n.Fanout {
+		sink := e.C.Cell(pr.Cell)
+		if sink.Kind == netlist.DFF || sink.Out == netlist.NoNet {
+			continue
+		}
+		ec.mark(sink.Out)
+	}
+	for _, cid := range e.clockSinks[net] {
+		ec.mark(e.C.Cell(cid).Out)
+	}
+	if ec.pass1 {
+		for _, cp := range n.Par.Couplings {
+			if e.netRank[cp.Other] > e.netRank[net] {
+				ec.mark(cp.Other)
+			}
+		}
+	}
+}
+
+// seedRefinementDirty initializes a refinement pass's dirty set beyond
+// the edit seeds: every coupled victim of a net that diverged in the
+// previous pass re-reads its quiescent time through quietPrev (any
+// rank), and with Windows active a diverged net also re-reads its own
+// previous-pass quiet (the victim sensitivity bound) while victims of
+// moved earliest-activity bounds re-run the pruning test.
+func (e *Engine) seedRefinementDirty(ec *ecoPass, prevChanged []bool, earlyVictims []netlist.NetID) {
+	if ec.orig == nil {
+		return // already fully dirty
+	}
+	for i, ch := range prevChanged {
+		if !ch {
+			continue
+		}
+		id := netlist.NetID(i + 1)
+		for _, cp := range e.C.Net(id).Par.Couplings {
+			ec.mark(cp.Other)
+		}
+		if e.opts.Windows {
+			ec.mark(id)
+		}
+	}
+	if e.opts.Windows {
+		for _, v := range earlyVictims {
+			ec.mark(v)
+		}
+	}
+}
+
+// sameNetState compares the observable per-pass state (pred excluded:
+// it is derived deterministically from the same inputs, so equal values
+// imply an equal-arrival predecessor choice either way).
+func sameNetState(a, b *netState) bool {
+	return a.arrival == b.arrival && a.slew == b.slew && a.quiet == b.quiet &&
+		a.calculated == b.calculated
+}
+
+func freshNetState() netState {
+	return netState{
+		arrival: [2]float64{math.Inf(-1), math.Inf(-1)},
+		quiet:   [2]float64{math.Inf(-1), math.Inf(-1)},
+	}
+}
+
+// passSeeded is pass() with replay seeding: clean nets carry the stored
+// pass state, dirty nets are recomputed in place, and nets whose
+// recomputed state diverges grow the dirty set at level barriers.
+func (e *Engine) passSeeded(mode Mode, quietPrev [][2]float64, ec *ecoPass) ([]netState, error) {
+	c := e.C
+	st := make([]netState, len(c.Nets))
+	if ec.orig != nil {
+		copy(st, ec.orig)
+		for i := range st {
+			if ec.dirty[i] {
+				st[i] = freshNetState()
+			}
+		}
+	} else {
+		for i := range st {
+			st[i] = freshNetState()
+		}
+	}
+
+	// Primary inputs are reseeded unconditionally (cheap); a slew edit
+	// shows up as divergence and dirties the fan-out.
+	for _, pi := range c.PIs {
+		slew := e.piSlewFor(pi)
+		var ns netState
+		for d := 0; d < 2; d++ {
+			ns.arrival[d] = 0
+			ns.slew[d] = slew
+			ns.quiet[d] = slew / 2
+		}
+		ns.calculated = true
+		st[pi-1] = ns
+		if ec.orig != nil && !sameNetState(&ns, &ec.orig[pi-1]) {
+			ec.changed[pi-1] = true
+			e.ecoExpand(ec, pi)
+		}
+	}
+
+	doCell := func(cell *netlist.Cell) error {
+		out := cell.Out
+		if ec.orig != nil && !ec.dirty[out-1] {
+			ec.reusedN.Add(1)
+			return nil
+		}
+		ec.dirtyN.Add(1)
+		if err := e.processCell(mode, st, quietPrev, nil, cell); err != nil {
+			return err
+		}
+		if ec.orig != nil && !sameNetState(&st[out-1], &ec.orig[out-1]) {
+			ec.changed[out-1] = true
+		}
+		return nil
+	}
+	after := func(level []netlist.CellID) {
+		for _, cid := range level {
+			out := c.Cell(cid).Out
+			if ec.changed[out-1] {
+				e.ecoExpand(ec, out)
+			}
+		}
+	}
+	if err := e.runLevelsAfter("clock", e.clockLevels, e.opts.Workers, doCell, after); err != nil {
+		return nil, err
+	}
+
+	// Flip-flop launches: a clean Q keeps the stored state (its launch
+	// reads only the clock arrival, which did not diverge — otherwise
+	// clockSinks expansion would have dirtied it).
+	for _, cell := range c.Cells {
+		if cell.Kind != netlist.DFF {
+			continue
+		}
+		out := cell.Out
+		if ec.orig != nil && !ec.dirty[out-1] {
+			ec.reusedN.Add(1)
+			continue
+		}
+		ec.dirtyN.Add(1)
+		launch := ccc.DFFClkToQ()
+		if cell.Clock != netlist.NoNet {
+			cs := &st[cell.Clock-1]
+			if cs.calculated && !math.IsInf(cs.arrival[dirRise], -1) {
+				pr := netlist.PinRef{Cell: cell.ID, Pin: layoutClockPin}
+				launch += cs.arrival[dirRise] + c.Net(cell.Clock).Par.SinkWireDelay[pr]
+			}
+		}
+		s := &st[out-1]
+		for d := 0; d < 2; d++ {
+			if launch > s.arrival[d] {
+				s.arrival[d] = launch
+				s.slew[d] = e.opts.DFFOutSlew
+				s.quiet[d] = launch + e.opts.DFFOutSlew/2
+				s.pred[d] = arcPred{} // launch point
+			}
+		}
+		s.calculated = true
+		if ec.orig != nil && !sameNetState(s, &ec.orig[out-1]) {
+			ec.changed[out-1] = true
+			e.ecoExpand(ec, out)
+		}
+	}
+
+	if err := e.runLevelsAfter("main", e.mainLevels, e.opts.Workers, doCell, after); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// accumulateECO folds one pass's dirty/reuse tallies into the run stats
+// and the metrics registry (driver goroutine, at the pass barrier).
+func (e *Engine) accumulateECO(ec *ecoPass, eco *ECOStats) {
+	d, r := ec.dirtyN.Load(), ec.reusedN.Load()
+	eco.DirtyLines += d
+	eco.ReusedLines += r
+	eco.ConeExpansions += ec.expansions
+	e.m.ecoDirty.Add(d)
+	e.m.ecoReused.Add(r)
+	e.m.ecoExpansions.Add(ec.expansions)
+}

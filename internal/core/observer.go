@@ -58,6 +58,7 @@ type engineMetrics struct {
 	ccZeroSkips, tbcsHits                                  *obs.Counter
 	passes, recalcWires, esperanceSkips                    *obs.Counter
 	levels, parallelLevels, workerCells, seqCells          *obs.Counter
+	ecoDirty, ecoReused, ecoExpansions, ecoFallbacks       *obs.Counter
 	levelCells                                             *obs.Histogram
 	workers                                                *obs.Gauge
 }
@@ -80,6 +81,10 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		parallelLevels:       r.Counter(obs.MParallelLevels),
 		workerCells:          r.Counter(obs.MWorkerCells),
 		seqCells:             r.Counter(obs.MSequentialCells),
+		ecoDirty:             r.Counter(obs.MEcoDirtyLines),
+		ecoReused:            r.Counter(obs.MEcoReusedLines),
+		ecoExpansions:        r.Counter(obs.MEcoConeExpansions),
+		ecoFallbacks:         r.Counter(obs.MEcoFullFallbacks),
 		levelCells:           r.Histogram(obs.MLevelCells),
 		workers:              r.Gauge(obs.MWorkers),
 	}
@@ -139,6 +144,9 @@ func (e *Engine) endPass(ph *passHandle, st []netState) float64 {
 		Wall:              time.Since(ph.start),
 	}
 	e.passStats = append(e.passStats, stat)
+	if !e.opts.DisableReplay {
+		e.replayPasses = append(e.replayPasses, append([]netState(nil), st...))
+	}
 	e.m.passes.Inc()
 	ph.span.Arg("longest_ns", longest*1e9).
 		Arg("arcs", d.Requests).

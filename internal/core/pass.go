@@ -38,10 +38,11 @@ func (e *Engine) pass(mode Mode, quietPrev [][2]float64, critical []bool, prev [
 	// configured board-level slew.
 	for _, pi := range c.PIs {
 		s := &st[pi-1]
+		slew := e.piSlewFor(pi)
 		for d := 0; d < 2; d++ {
 			s.arrival[d] = 0
-			s.slew[d] = e.opts.PISlew
-			s.quiet[d] = e.opts.PISlew / 2
+			s.slew[d] = slew
+			s.quiet[d] = slew / 2
 		}
 		s.calculated = true
 	}

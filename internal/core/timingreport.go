@@ -156,6 +156,7 @@ func (e *Engine) Report(period float64) (*TimingReport, error) {
 // into the metrics registry.
 func (e *Engine) finalState() ([]netState, int, error) {
 	e.passStats = nil
+	e.replayPasses, e.replayEarly, e.replaySlews = nil, nil, nil
 	c0 := e.calcCounters()
 	span := e.trace.Begin("analysis", 0).Arg("mode", e.opts.Mode.String())
 	st, passes, err := e.runPasses()
@@ -182,12 +183,15 @@ func (e *Engine) runPasses() ([]netState, int, error) {
 	case Iterative:
 		if e.opts.Windows {
 			sp := e.trace.Begin("min-pass", 0)
-			early, err := e.minPass()
+			early, slews, err := e.minPassRaw()
 			sp.End()
 			if err != nil {
 				return nil, 0, err
 			}
-			e.earliestStart = early
+			if !e.opts.DisableReplay {
+				e.replayEarly, e.replaySlews = early, slews
+			}
+			e.earliestStart = startTimes(early, slews)
 		} else {
 			e.earliestStart = nil
 		}

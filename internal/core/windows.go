@@ -29,6 +29,31 @@ import (
 // minPass computes earliest transition-start times per (net, dir): the
 // earliest moment the line's voltage can begin to move.
 func (e *Engine) minPass() ([][2]float64, error) {
+	early, slews, err := e.minPassRaw()
+	if err != nil {
+		return nil, err
+	}
+	return startTimes(early, slews), nil
+}
+
+// startTimes converts 50%-crossing arrivals to transition-start times
+// (arrival − slew/2), leaving the raw inputs untouched.
+func startTimes(early, slews [][2]float64) [][2]float64 {
+	out := make([][2]float64, len(early))
+	for i := range early {
+		out[i] = early[i]
+		for d := 0; d < 2; d++ {
+			if !math.IsInf(out[i][d], 1) {
+				out[i][d] -= slews[i][d] / 2
+			}
+		}
+	}
+	return out
+}
+
+// minPassRaw is minPass before the start-time conversion: raw earliest
+// 50% arrivals and their slews, the form stored for replay seeding.
+func (e *Engine) minPassRaw() ([][2]float64, [][2]float64, error) {
 	c := e.C
 	early := make([][2]float64, len(c.Nets))
 	slews := make([][2]float64, len(c.Nets))
@@ -37,8 +62,9 @@ func (e *Engine) minPass() ([][2]float64, error) {
 		early[i] = [2]float64{math.Inf(1), math.Inf(1)}
 	}
 	for _, pi := range c.PIs {
+		slew := e.piSlewFor(pi)
 		early[pi-1] = [2]float64{0, 0}
-		slews[pi-1] = [2]float64{e.opts.PISlew, e.opts.PISlew}
+		slews[pi-1] = [2]float64{slew, slew}
 		done[pi-1] = true
 	}
 
@@ -93,7 +119,7 @@ func (e *Engine) minPass() ([][2]float64, error) {
 			continue
 		}
 		if err := process(cell); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	for _, cell := range c.Cells {
@@ -119,17 +145,148 @@ func (e *Engine) minPass() ([][2]float64, error) {
 			continue
 		}
 		if err := process(cell); err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+	}
+	return early, slews, nil
+}
+
+// minPassSeeded replays minPassRaw against a previous revision: clean
+// lines keep the stored raw arrivals, lines in the dirty set (edit
+// seeds plus their structural fan-out cones, grown as recomputed values
+// diverge) are re-evaluated. Returns the new raw arrays and the changed
+// mask — nets whose earliest-activity bound actually moved, whose
+// coupled victims must then re-run the window pruning test.
+func (e *Engine) minPassSeeded(prev *ReplayState, seed []bool, eco *ECOStats) ([][2]float64, [][2]float64, []bool, error) {
+	c := e.C
+	n := len(c.Nets)
+	early := make([][2]float64, n)
+	slews := make([][2]float64, n)
+	copy(early, prev.early)
+	copy(slews, prev.slews)
+	dirty := make([]bool, n)
+	copy(dirty, seed)
+	changed := make([]bool, n)
+
+	expand := func(net netlist.NetID) {
+		nn := c.Net(net)
+		for _, pr := range nn.Fanout {
+			sink := c.Cell(pr.Cell)
+			if sink.Kind == netlist.DFF || sink.Out == netlist.NoNet {
+				continue
+			}
+			dirty[sink.Out-1] = true
+		}
+		for _, cid := range e.clockSinks[net] {
+			dirty[c.Cell(cid).Out-1] = true
+		}
+	}
+	for _, pi := range c.PIs {
+		if !dirty[pi-1] {
+			continue
+		}
+		slew := e.piSlewFor(pi)
+		ne, ns := [2]float64{0, 0}, [2]float64{slew, slew}
+		if early[pi-1] != ne || slews[pi-1] != ns {
+			early[pi-1], slews[pi-1] = ne, ns
+			changed[pi-1] = true
+			expand(pi)
 		}
 	}
 
-	// Convert 50%-arrival to transition start.
-	for i := range early {
-		for d := 0; d < 2; d++ {
-			if !math.IsInf(early[i][d], 1) {
-				early[i][d] -= slews[i][d] / 2
+	process := func(cell *netlist.Cell) error {
+		out := cell.Out
+		if !dirty[out-1] {
+			return nil
+		}
+		eco.MinPassDirty++
+		inf := &e.info[out-1]
+		oldE, oldS := early[out-1], slews[out-1]
+		early[out-1] = [2]float64{math.Inf(1), math.Inf(1)}
+		slews[out-1] = [2]float64{}
+		for dOut := 0; dOut < 2; dOut++ {
+			dIn := 1 - dOut
+			bestArr := math.Inf(1)
+			bestSlew := 0.0
+			for pin, inNet := range cell.In {
+				if math.IsInf(early[inNet-1][dIn], 1) {
+					continue
+				}
+				pr := netlist.PinRef{Cell: cell.ID, Pin: pin}
+				inArr := early[inNet-1][dIn]
+				if !e.opts.PiModel {
+					inArr += c.Net(inNet).Par.SinkWireDelay[pr]
+				}
+				inSlew := slews[inNet-1][dIn]
+				if inSlew <= 0 {
+					inSlew = e.opts.PISlew
+				}
+				res, err := e.Calc.Eval(delaycalc.Request{
+					Kind: cell.Kind, NIn: len(cell.In), Pin: pin, Dir: dirOf(dOut),
+					InSlew: inSlew, CLoad: inf.baseCap + inf.sumCc, SizeMult: inf.sizeMult,
+				})
+				if err != nil {
+					return err
+				}
+				if a := inArr + res.Delay; a < bestArr {
+					bestArr = a
+					bestSlew = res.OutSlew
+				}
+			}
+			if !math.IsInf(bestArr, 1) {
+				early[out-1][dOut] = bestArr
+				slews[out-1][dOut] = bestSlew
 			}
 		}
+		if early[out-1] != oldE || slews[out-1] != oldS {
+			changed[out-1] = true
+			expand(out)
+		}
+		return nil
 	}
-	return early, nil
+
+	for _, cid := range e.order {
+		cell := c.Cell(cid)
+		if !c.Net(cell.Out).IsClock {
+			continue
+		}
+		if err := process(cell); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	for _, cell := range c.Cells {
+		if cell.Kind != netlist.DFF || !dirty[cell.Out-1] {
+			continue
+		}
+		eco.MinPassDirty++
+		out := cell.Out
+		oldE, oldS := early[out-1], slews[out-1]
+		early[out-1] = [2]float64{math.Inf(1), math.Inf(1)}
+		slews[out-1] = [2]float64{}
+		launch := ccc.DFFClkToQ()
+		if cell.Clock != netlist.NoNet && !math.IsInf(early[cell.Clock-1][dirRise], 1) {
+			pr := netlist.PinRef{Cell: cell.ID, Pin: layoutClockPin}
+			launch += early[cell.Clock-1][dirRise] + c.Net(cell.Clock).Par.SinkWireDelay[pr]
+		}
+		for d := 0; d < 2; d++ {
+			if launch < early[out-1][d] {
+				early[out-1][d] = launch
+				slews[out-1][d] = e.opts.DFFOutSlew
+			}
+		}
+		if early[out-1] != oldE || slews[out-1] != oldS {
+			changed[out-1] = true
+			expand(out)
+		}
+	}
+	for _, cid := range e.order {
+		cell := c.Cell(cid)
+		if c.Net(cell.Out).IsClock {
+			continue
+		}
+		if err := process(cell); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return early, slews, changed, nil
 }

@@ -284,6 +284,20 @@ func (c *Calculator) ClearCache() {
 // CacheShards returns the number of lock stripes (a power of two).
 func (c *Calculator) CacheShards() int { return len(c.shards) }
 
+// CacheEntries returns the number of characterized results currently
+// held across all shards. The ECO flow reports it to show how much of
+// the warm characterization cache carries over between revisions.
+func (c *Calculator) CacheEntries() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.cache)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 type cacheKey struct {
 	kind     netlist.GateKind
 	nin, pin int

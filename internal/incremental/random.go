@@ -1,0 +1,100 @@
+package incremental
+
+import (
+	"math/rand"
+
+	"xtalksta/internal/netlist"
+)
+
+// RandomBatch generates up to n random valid edits against the
+// circuit's current state — the workload of the exactness property test
+// and `xtalksta -eco-random`. Deterministic for a given rng state. The
+// batch is internally consistent: it never edits a coupling pair it
+// already removed, so Apply accepts it as a whole.
+func RandomBatch(c *netlist.Circuit, rng *rand.Rand, n int) []Edit {
+	var coupled []*netlist.Net
+	for _, nn := range c.Nets {
+		if len(nn.Par.Couplings) > 0 {
+			coupled = append(coupled, nn)
+		}
+	}
+	var cells []*netlist.Cell
+	for _, cell := range c.Cells {
+		if cell.Kind != netlist.DFF && cell.Out != netlist.NoNet {
+			cells = append(cells, cell)
+		}
+	}
+
+	type pair struct{ a, b netlist.NetID }
+	key := func(a, b netlist.NetID) pair {
+		if a > b {
+			a, b = b, a
+		}
+		return pair{a, b}
+	}
+	dead := make(map[pair]bool)               // pairs removed earlier in the batch
+	decoupled := make(map[netlist.NetID]bool) // nets fully decoupled earlier
+	livePair := func(a, b netlist.NetID) bool {
+		return !dead[key(a, b)] && !decoupled[a] && !decoupled[b]
+	}
+	pickPair := func() (string, string, bool) {
+		for tries := 0; tries < 8; tries++ {
+			nn := coupled[rng.Intn(len(coupled))]
+			cp := nn.Par.Couplings[rng.Intn(len(nn.Par.Couplings))]
+			if livePair(nn.ID, cp.Other) {
+				return nn.Name, c.Net(cp.Other).Name, true
+			}
+		}
+		return "", "", false
+	}
+
+	var out []Edit
+	for tries := 0; len(out) < n && tries < 40*n+100; tries++ {
+		switch roll := rng.Intn(12); {
+		case roll < 3 && len(coupled) > 0: // scale an existing coupling
+			if a, b, ok := pickPair(); ok {
+				out = append(out, Edit{Op: OpScaleCoupling, A: a, B: b, Value: 0.25 + 2.5*rng.Float64()})
+			}
+		case roll < 5 && len(coupled) > 0: // set an existing coupling
+			if a, b, ok := pickPair(); ok {
+				out = append(out, Edit{Op: OpSetCoupling, A: a, B: b, Value: (0.5 + 4.5*rng.Float64()) * 1e-15})
+			}
+		case roll < 6 && len(c.Nets) > 1: // add a fresh coupling
+			a := c.Nets[rng.Intn(len(c.Nets))]
+			b := c.Nets[rng.Intn(len(c.Nets))]
+			if a.ID != b.ID && !decoupled[a.ID] && !decoupled[b.ID] {
+				out = append(out, Edit{Op: OpAddCoupling, A: a.Name, B: b.Name, Value: (0.5 + 2.0*rng.Float64()) * 1e-15})
+				dead[key(a.ID, b.ID)] = false
+			}
+		case roll < 7 && len(coupled) > 0: // remove a coupling
+			if a, b, ok := pickPair(); ok {
+				na, _ := c.NetByName(a)
+				nb, _ := c.NetByName(b)
+				dead[key(na.ID, nb.ID)] = true
+				out = append(out, Edit{Op: OpRemoveCoupling, A: a, B: b})
+			}
+		case roll < 8 && len(coupled) > 0: // shield (decouple) a net
+			nn := coupled[rng.Intn(len(coupled))]
+			if !decoupled[nn.ID] && len(nn.Par.Couplings) > 0 {
+				live := false
+				for _, cp := range nn.Par.Couplings {
+					if livePair(nn.ID, cp.Other) {
+						live = true
+						break
+					}
+				}
+				if live {
+					decoupled[nn.ID] = true
+					out = append(out, Edit{Op: OpDecoupleNet, A: nn.Name})
+				}
+			}
+		case roll < 11 && len(cells) > 0: // resize a gate
+			cell := cells[rng.Intn(len(cells))]
+			out = append(out, Edit{Op: OpResizeCell, Cell: cell.Name, Value: 0.6 + 2.4*rng.Float64()})
+		case len(c.PIs) > 0: // change a primary input slew
+			pi := c.PIs[rng.Intn(len(c.PIs))]
+			out = append(out, Edit{Op: OpSetInputSlew, A: c.Net(pi).Name, Value: (0.05 + 0.4*rng.Float64()) * 1e-9})
+		}
+	}
+	return out
+}

@@ -46,6 +46,17 @@ const (
 	MWorkers         = "workers" // gauge
 	MLevelCells      = "level_cells"
 
+	// Incremental (ECO) re-analysis. DirtyLines counts driven lines
+	// actually re-evaluated by a seeded run, ReusedLines the lines
+	// carried over from the previous revision's stored passes, and
+	// ConeExpansions the dirty-set growth beyond the initial edit seeds
+	// (fan-out cones plus quiescent-time coupling victims).
+	MEcoEdits          = "eco_edits_total"
+	MEcoDirtyLines     = "eco_dirty_lines"
+	MEcoReusedLines    = "eco_reused_lines"
+	MEcoConeExpansions = "eco_cone_expansions"
+	MEcoFullFallbacks  = "eco_full_fallbacks_total"
+
 	// Layout / extraction.
 	MLayoutNetsRouted    = "layout_nets_routed_total"
 	MLayoutCouplingPairs = "layout_coupling_pairs_total"
