@@ -2,7 +2,11 @@ GO ?= go
 
 # Output file of the bench-json target; override per PR or in CI, e.g.
 #   make bench-json BENCH_OUT=BENCH_ci.json
-BENCH_OUT ?= BENCH_pr3.json
+BENCH_OUT ?= BENCH_pr4.json
+
+# Worker goroutines for the bench-json run (the wavefront scheduler's
+# headline numbers are parallel; set 0 for the sequential reference).
+BENCH_WORKERS ?= 8
 
 # Baseline the bench gate compares against, and the allowed per-mode
 # delay drift in percent. Delays are deterministic functions of the
@@ -11,7 +15,7 @@ BENCH_OUT ?= BENCH_pr3.json
 BENCH_BASELINE ?= ci/bench_baseline.json
 BENCH_TOL ?= 0.5
 
-.PHONY: all check ci fmt-check vet build test race bench bench-json bench-gate clean
+.PHONY: all check ci fmt-check vet staticcheck build test race bench bench-json bench-gate clean
 
 all: check
 
@@ -20,7 +24,7 @@ all: check
 check: vet build test race
 
 # Everything CI runs, reproducible locally with one command.
-ci: fmt-check vet build test race bench-gate
+ci: fmt-check vet staticcheck build test race bench-gate
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -29,6 +33,14 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# staticcheck is optional locally (CI installs it); skip with a notice
+# when the binary is absent so `make ci` works on minimal machines.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; fi
+
 build:
 	$(GO) build ./...
 
@@ -36,17 +48,19 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the packages with worker concurrency and the
-# shared telemetry instruments.
+# shared telemetry instruments, plus a dedicated high-worker run of the
+# scheduler parity/abort tests.
 race:
 	$(GO) test -race ./internal/core/ ./internal/delaycalc/ ./internal/obs/ ./internal/incremental/
+	$(GO) test -race -run 'SchedulerParity|Dataflow' -count=1 ./internal/core/
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
 # Machine-readable five-mode benchmark table (same schema as
-# BENCH_pr1.json, regenerated per PR).
+# BENCH_pr1.json plus the env block, regenerated per PR).
 bench-json:
-	$(GO) run ./cmd/xtalksta -preset s35932 -scale 0.05 -json $(BENCH_OUT)
+	$(GO) run ./cmd/xtalksta -preset s35932 -scale 0.05 -workers $(BENCH_WORKERS) -json $(BENCH_OUT)
 
 # Regression gate: run the small preset and compare each mode's delay
 # against the checked-in baseline. Fails on drift beyond $(BENCH_TOL)%.

@@ -64,6 +64,18 @@ const (
 // Modes lists all analyses in table order.
 func Modes() []Mode { return core.Modes() }
 
+// Scheduler selects the sweep executor (AnalysisOptions.Scheduler):
+// the dataflow wavefront pipelines cells as their dependencies
+// complete, the level-synchronized reference barriers per level.
+// Results are bit-identical either way.
+type Scheduler = core.Scheduler
+
+// The sweep executors.
+const (
+	SchedDataflow = core.SchedDataflow
+	SchedLevels   = core.SchedLevels
+)
+
 // AnalysisOptions is re-exported from the core engine.
 type AnalysisOptions = core.Options
 

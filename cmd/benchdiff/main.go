@@ -21,15 +21,36 @@ import (
 	"os"
 )
 
+type benchEnv struct {
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Workers     int    `json:"workers"`
+	Scheduler   string `json:"scheduler"`
+	GitRevision string `json:"git_revision"`
+}
+
 type benchFile struct {
 	Circuit string `json:"circuit"`
-	Rows    []struct {
+	// Env is absent in files written before environment recording; the
+	// header then flags the comparison as unattributed.
+	Env  *benchEnv `json:"env"`
+	Rows []struct {
 		Method      string  `json:"method"`
 		DelayNs     float64 `json:"delay_ns"`
 		RuntimeMs   float64 `json:"runtime_ms"`
 		Passes      int     `json:"passes"`
 		Evaluations int64   `json:"arc_evaluations"`
 	} `json:"rows"`
+}
+
+// envString renders one file's recorded environment for the header.
+func envString(f *benchFile) string {
+	if f.Env == nil {
+		return "(no environment recorded)"
+	}
+	e := f.Env
+	return fmt.Sprintf("%s gomaxprocs=%d workers=%d sched=%s rev=%s",
+		e.GoVersion, e.GOMAXPROCS, e.Workers, e.Scheduler, e.GitRevision)
 }
 
 func load(path string) (*benchFile, error) {
@@ -71,6 +92,9 @@ func main() {
 	for _, r := range cand.Rows {
 		got[r.Method] = r.DelayNs
 	}
+
+	fmt.Printf("base: %s  %s\n", *basePath, envString(base))
+	fmt.Printf("new:  %s  %s\n", *newPath, envString(cand))
 
 	fail := false
 	fmt.Printf("%-22s %12s %12s %9s\n", "mode", "base ns", "new ns", "drift %")

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadWithEnv(t *testing.T) {
+	p := writeTemp(t, "bench.json", `{
+		"circuit": "s35932 scale=0.05",
+		"env": {"go_version": "go1.24.0", "gomaxprocs": 16, "workers": 8,
+		        "scheduler": "dataflow", "git_revision": "abc123def456"},
+		"rows": [{"method": "Iterative", "delay_ns": 1.5, "runtime_ms": 800,
+		          "passes": 3, "arc_evaluations": 10000}]
+	}`)
+	f, err := load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Env == nil {
+		t.Fatal("env not parsed")
+	}
+	want := "go1.24.0 gomaxprocs=16 workers=8 sched=dataflow rev=abc123def456"
+	if got := envString(f); got != want {
+		t.Errorf("envString = %q, want %q", got, want)
+	}
+	if f.Rows[0].DelayNs != 1.5 {
+		t.Errorf("delay = %v, want 1.5", f.Rows[0].DelayNs)
+	}
+}
+
+func TestLoadWithoutEnv(t *testing.T) {
+	// Files recorded before environment stamping (PR 3 and earlier) must
+	// still load and be flagged as unattributed.
+	p := writeTemp(t, "old.json", `{
+		"circuit": "s35932 scale=0.05",
+		"rows": [{"method": "Best case", "delay_ns": 1.0}]
+	}`)
+	f, err := load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Env != nil {
+		t.Fatalf("expected nil env, got %+v", f.Env)
+	}
+	if got := envString(f); got != "(no environment recorded)" {
+		t.Errorf("envString = %q", got)
+	}
+}
+
+func TestLoadRejectsEmpty(t *testing.T) {
+	p := writeTemp(t, "empty.json", `{"circuit": "x", "rows": []}`)
+	if _, err := load(p); err == nil {
+		t.Fatal("expected an error for a file with no rows")
+	}
+}

@@ -25,7 +25,9 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -90,7 +92,8 @@ func run() error {
 		cacheShards = flag.Int("cache-shards", 0, "lock stripes of the characterization cache, rounded up to a power of two (0 = default 8)")
 		fixedGrid   = flag.Bool("fixed-grid", false, "use the legacy fixed 700-step transient grid instead of the adaptive kernel")
 
-		workers     = flag.Int("workers", 0, "worker goroutines per BFS level (0/1 = sequential)")
+		workers     = flag.Int("workers", 0, "worker goroutines per BFS sweep (0/1 = sequential)")
+		sched       = flag.String("sched", "dataflow", "sweep scheduler: dataflow (wavefront) or levels (barrier reference)")
 		metricsPath = flag.String("metrics", "", "write the metrics registry as JSON to this file")
 		tracePath   = flag.String("trace", "", "write a Chrome trace_event profile to this file")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -150,9 +153,14 @@ func run() error {
 		}
 	}()
 
+	scheduler, err := parseSched(*sched)
+	if err != nil {
+		return err
+	}
 	aopts := xtalksta.AnalysisOptions{
 		Esperance: *esperance,
 		Workers:   *workers,
+		Scheduler: scheduler,
 		Metrics:   reg,
 		Trace:     tracer,
 	}
@@ -277,7 +285,7 @@ func run() error {
 		return err
 	}
 	if *jsonPath != "" {
-		if err := writeTableJSON(*jsonPath, title, st, table); err != nil {
+		if err := writeTableJSON(*jsonPath, title, st, table, *workers, scheduler); err != nil {
 			return err
 		}
 	}
@@ -393,8 +401,37 @@ func writeFileWith(path string, write func(w io.Writer) error) error {
 	return f.Close()
 }
 
+// benchEnv identifies the environment a bench JSON was recorded in, so
+// benchdiff can refuse-or-flag cross-environment comparisons.
+type benchEnv struct {
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Workers     int    `json:"workers"`
+	Scheduler   string `json:"scheduler"`
+	GitRevision string `json:"git_revision"`
+}
+
+// gitRevision resolves the source revision: the build info's VCS stamp
+// when present (release builds), a git query as fallback (go run from a
+// checkout embeds no stamp), else "unknown".
+func gitRevision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				return s.Value[:12]
+			}
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	return "unknown"
+}
+
 // writeTableJSON emits the machine-readable all-modes summary (-json).
-func writeTableJSON(path, title string, st netlist.Stats, table *xtalksta.Table) error {
+func writeTableJSON(path, title string, st netlist.Stats, table *xtalksta.Table, workers int, sched xtalksta.Scheduler) error {
 	type row struct {
 		Method      string  `json:"method"`
 		DelayNs     float64 `json:"delay_ns"`
@@ -403,15 +440,23 @@ func writeTableJSON(path, title string, st netlist.Stats, table *xtalksta.Table)
 		Evaluations int64   `json:"arc_evaluations"`
 	}
 	out := struct {
-		Circuit  string  `json:"circuit"`
-		Cells    int     `json:"cells"`
-		DFFs     int     `json:"dffs"`
-		Nets     int     `json:"nets"`
-		Depth    int     `json:"logic_depth"`
-		Rows     []row   `json:"rows"`
-		GoldenNs float64 `json:"golden_ns,omitempty"`
+		Circuit  string   `json:"circuit"`
+		Cells    int      `json:"cells"`
+		DFFs     int      `json:"dffs"`
+		Nets     int      `json:"nets"`
+		Depth    int      `json:"logic_depth"`
+		Env      benchEnv `json:"env"`
+		Rows     []row    `json:"rows"`
+		GoldenNs float64  `json:"golden_ns,omitempty"`
 	}{Circuit: title, Cells: st.Cells, DFFs: st.DFFs, Nets: st.Nets,
-		Depth: st.LogicDepth, GoldenNs: table.GoldenNs}
+		Depth: st.LogicDepth, GoldenNs: table.GoldenNs,
+		Env: benchEnv{
+			GoVersion:   runtime.Version(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Workers:     workers,
+			Scheduler:   sched.String(),
+			GitRevision: gitRevision(),
+		}}
 	for _, r := range table.Rows {
 		out.Rows = append(out.Rows, row{
 			Method:      r.Method,
@@ -486,4 +531,14 @@ func parseMode(s string) (xtalksta.Mode, error) {
 		return xtalksta.Iterative, nil
 	}
 	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func parseSched(s string) (xtalksta.Scheduler, error) {
+	switch strings.ToLower(s) {
+	case "dataflow", "wavefront":
+		return xtalksta.SchedDataflow, nil
+	case "levels", "level":
+		return xtalksta.SchedLevels, nil
+	}
+	return 0, fmt.Errorf("unknown scheduler %q (want dataflow or levels)", s)
 }

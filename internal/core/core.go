@@ -93,10 +93,21 @@ type Options struct {
 	EsperanceMargin float64
 	// MaxPasses bounds the iterative refinement (default 10).
 	MaxPasses int
-	// Workers evaluates the cells of each topological level
-	// concurrently when > 1. Results are identical to the sequential
-	// run (the one-step neighbor rule is level-based, see parallel.go).
+	// Workers evaluates cells concurrently when > 1. Results are
+	// identical to the sequential run under either scheduler (the
+	// one-step neighbor rule is rank-based, see parallel.go and
+	// dataflow.go).
 	Workers int
+	// Scheduler selects the sweep executor: the dataflow wavefront
+	// (default) pipelines cells as their dependencies complete, the
+	// level-synchronized reference implementation barriers after every
+	// topological level. Results are bit-identical; see dataflow.go.
+	Scheduler Scheduler
+	// DisableDeltaRefinement recomputes every line in every Iterative
+	// refinement pass instead of only the frontier reachable from the
+	// previous pass's changes (ablation; results are bit-identical, the
+	// converged cones just recompute to the value they already hold).
+	DisableDeltaRefinement bool
 	// PISlew is the transition time assumed at primary inputs (default
 	// 0.2 ns).
 	PISlew float64
@@ -270,6 +281,17 @@ type Engine struct {
 	clockLevels [][]netlist.CellID
 	mainLevels  [][]netlist.CellID
 	netRank     []int
+	// Per-phase dataflow dependency graphs for the wavefront scheduler;
+	// see dataflow.go.
+	dfClock, dfMain *dfGraph
+	// statePool recycles per-pass []netState allocations across passes
+	// and runs (driver goroutine only; the final pass state handed to
+	// finish/Report is never pooled, and ReplayState copies are
+	// independent).
+	statePool [][]netState
+	// passConverged is the delta-refinement carry-over count of the
+	// in-flight pass (driver goroutine only; harvested by endPass).
+	passConverged int64
 	// clockSinks maps a clock net to the flip-flops it clocks, for
 	// dirty-cone expansion through launch seeding (eco.go).
 	clockSinks map[netlist.NetID][]netlist.CellID
@@ -328,6 +350,7 @@ func NewEngine(c *netlist.Circuit, calc delaycalc.Evaluator, opts Options) (*Eng
 	}
 	e.buildEndpoints()
 	e.buildLevels()
+	e.buildDataflow()
 	e.clockSinks = make(map[netlist.NetID][]netlist.CellID)
 	for _, cell := range c.Cells {
 		if cell.Kind == netlist.DFF && cell.Clock != netlist.NoNet {
@@ -465,6 +488,30 @@ func (e *Engine) Run() (*Result, error) {
 	res.Runtime = time.Since(start)
 	res.ArcEvaluations, res.Simulations = e.Calc.Stats()
 	return res, nil
+}
+
+// getState hands out a per-pass net-state slice, recycling slices
+// returned through putState. Callers must fully initialize every slot
+// (freshNetState or a carry-over assignment): pooled slices hold stale
+// state from an earlier pass. Driver goroutine only.
+func (e *Engine) getState() []netState {
+	if n := len(e.statePool); n > 0 {
+		st := e.statePool[n-1]
+		e.statePool[n-1] = nil
+		e.statePool = e.statePool[:n-1]
+		e.m.statePoolReuses.Inc()
+		return st
+	}
+	return make([]netState, len(e.C.Nets))
+}
+
+// putState returns a pass state to the pool once nothing reads it
+// anymore. Never pool slices owned by a ReplayState or the final pass
+// state a Result was built from.
+func (e *Engine) putState(st []netState) {
+	if st != nil && len(st) == len(e.C.Nets) {
+		e.statePool = append(e.statePool, st)
+	}
 }
 
 func snapshotQuiet(st []netState) [][2]float64 {

@@ -377,6 +377,7 @@ func (e *Engine) runPassesSeeded(prev *ReplayState, seed []bool, eco *ECOStats) 
 		passes++
 		newDelay := e.endPass(ph, st2)
 		e.accumulateECO(ec, eco)
+		e.putState(st)
 		st = st2
 		prevChanged = ec.changed
 		if newDelay >= delay-1e-12 {
@@ -388,22 +389,25 @@ func (e *Engine) runPassesSeeded(prev *ReplayState, seed []bool, eco *ECOStats) 
 }
 
 // ecoPass tracks one seeded sweep's dirty and diverged sets. dirty is
-// written only on the driver goroutine (initial seeding and level
-// barriers); changed is written by at most one worker per index (the
-// cell owner) and read on the driver at barriers — WaitGroup ordering
-// makes both race-free.
+// grown concurrently (each cell's done callback expands from its own
+// diverged output, possibly on a worker goroutine), so its bits are
+// atomic; every expansion provably targets a cell that has not started
+// yet — fanout sinks and pass-1 coupling victims have strictly higher
+// rank, so the scheduler's dependency/level edges order the mark before
+// the read. changed is written by at most one goroutine per index (the
+// cell owner) and only read by callbacks ordered after that write.
 type ecoPass struct {
 	// orig is the stored state of the matching pass (nil once the
 	// seeded run outlives the stored trajectory; every net is then
 	// recomputed, which remains exact).
 	orig    []netState
-	dirty   []bool
+	dirty   []atomic.Bool
 	changed []bool
 	// pass1 enables the one-step victim rule: a diverged net's
 	// higher-rank coupled victims read its current-pass quiescent time
 	// and must re-classify.
 	pass1           bool
-	expansions      int64
+	expansions      atomic.Int64
 	dirtyN, reusedN atomic.Int64
 }
 
@@ -412,27 +416,59 @@ func (e *Engine) newEcoPass(prev *ReplayState, passIdx int, seed []bool) *ecoPas
 	mode := e.opts.Mode
 	ec := &ecoPass{
 		changed: make([]bool, n),
-		dirty:   make([]bool, n),
+		dirty:   make([]atomic.Bool, n),
 		pass1:   passIdx == 0 && (mode == OneStep || mode == Iterative),
 	}
 	if passIdx < len(prev.passes) {
 		ec.orig = prev.passes[passIdx]
-		copy(ec.dirty, seed)
-	} else {
-		for i := range ec.dirty {
-			ec.dirty[i] = true
+		for i, s := range seed {
+			if s {
+				ec.dirty[i].Store(true)
+			}
 		}
+	} else {
+		ec.markAll()
+	}
+	return ec
+}
+
+func (ec *ecoPass) markAll() {
+	for i := range ec.dirty {
+		ec.dirty[i].Store(true)
+	}
+}
+
+// newDeltaPass builds the delta-convergent refinement seeding for an
+// in-run Iterative pass: the engine's own previous pass plays the role
+// of the stored trajectory, and the dirty frontier is exactly the set
+// of lines whose reads could differ from that pass — the coupled
+// victims of last-pass changes (quietPrev readers; plus self re-reads
+// under Windows), grown in-pass by the fanout of anything that
+// diverges. prevChanged == nil marks a pass that must recompute fully
+// (pass 2: the classifier switches from the one-step rule to stored
+// quiescent times, and Windows pruning activates, so every line's
+// evalArc inputs change shape).
+func (e *Engine) newDeltaPass(prevSt []netState, prevChanged []bool) *ecoPass {
+	ec := &ecoPass{
+		orig:    prevSt,
+		changed: make([]bool, len(e.C.Nets)),
+		dirty:   make([]atomic.Bool, len(e.C.Nets)),
+	}
+	if prevChanged == nil {
+		ec.markAll()
+	} else {
+		e.seedRefinementDirty(ec, prevChanged, nil)
 	}
 	return ec
 }
 
 // mark adds a net to the dirty set, counting growth beyond the seeds.
+// Safe from any goroutine; first marker wins the count.
 func (ec *ecoPass) mark(id netlist.NetID) {
-	if ec.dirty[id-1] {
+	if ec.dirty[id-1].Swap(true) {
 		return
 	}
-	ec.dirty[id-1] = true
-	ec.expansions++
+	ec.expansions.Add(1)
 }
 
 // ecoExpand grows the dirty set from a net whose recomputed state
@@ -506,14 +542,16 @@ func freshNetState() netState {
 
 // passSeeded is pass() with replay seeding: clean nets carry the stored
 // pass state, dirty nets are recomputed in place, and nets whose
-// recomputed state diverges grow the dirty set at level barriers.
+// recomputed state diverges grow the dirty set through their cell's
+// done callback — which both schedulers order before any dependent
+// cell starts (see dataflow.go).
 func (e *Engine) passSeeded(mode Mode, quietPrev [][2]float64, ec *ecoPass) ([]netState, error) {
 	c := e.C
-	st := make([]netState, len(c.Nets))
+	st := e.getState()
 	if ec.orig != nil {
 		copy(st, ec.orig)
 		for i := range st {
-			if ec.dirty[i] {
+			if ec.dirty[i].Load() {
 				st[i] = freshNetState()
 			}
 		}
@@ -543,7 +581,7 @@ func (e *Engine) passSeeded(mode Mode, quietPrev [][2]float64, ec *ecoPass) ([]n
 
 	doCell := func(cell *netlist.Cell) error {
 		out := cell.Out
-		if ec.orig != nil && !ec.dirty[out-1] {
+		if ec.orig != nil && !ec.dirty[out-1].Load() {
 			ec.reusedN.Add(1)
 			return nil
 		}
@@ -556,15 +594,17 @@ func (e *Engine) passSeeded(mode Mode, quietPrev [][2]float64, ec *ecoPass) ([]n
 		}
 		return nil
 	}
-	after := func(level []netlist.CellID) {
-		for _, cid := range level {
-			out := c.Cell(cid).Out
-			if ec.changed[out-1] {
-				e.ecoExpand(ec, out)
-			}
+	// done grows the dirty set from a diverged output. Every mark
+	// targets a strictly higher-rank net (fanout sinks, pass-1 coupling
+	// victims) or a phase-separated DFF launch, so the marked cell has
+	// not started under either scheduler.
+	done := func(cid netlist.CellID) {
+		out := c.Cell(cid).Out
+		if ec.changed[out-1] {
+			e.ecoExpand(ec, out)
 		}
 	}
-	if err := e.runLevelsAfter("clock", e.clockLevels, e.opts.Workers, doCell, after); err != nil {
+	if err := e.runPhase(phaseClock, doCell, done); err != nil {
 		return nil, err
 	}
 
@@ -576,7 +616,7 @@ func (e *Engine) passSeeded(mode Mode, quietPrev [][2]float64, ec *ecoPass) ([]n
 			continue
 		}
 		out := cell.Out
-		if ec.orig != nil && !ec.dirty[out-1] {
+		if ec.orig != nil && !ec.dirty[out-1].Load() {
 			ec.reusedN.Add(1)
 			continue
 		}
@@ -605,7 +645,7 @@ func (e *Engine) passSeeded(mode Mode, quietPrev [][2]float64, ec *ecoPass) ([]n
 		}
 	}
 
-	if err := e.runLevelsAfter("main", e.mainLevels, e.opts.Workers, doCell, after); err != nil {
+	if err := e.runPhase(phaseMain, doCell, done); err != nil {
 		return nil, err
 	}
 	return st, nil
@@ -614,11 +654,11 @@ func (e *Engine) passSeeded(mode Mode, quietPrev [][2]float64, ec *ecoPass) ([]n
 // accumulateECO folds one pass's dirty/reuse tallies into the run stats
 // and the metrics registry (driver goroutine, at the pass barrier).
 func (e *Engine) accumulateECO(ec *ecoPass, eco *ECOStats) {
-	d, r := ec.dirtyN.Load(), ec.reusedN.Load()
+	d, r, x := ec.dirtyN.Load(), ec.reusedN.Load(), ec.expansions.Load()
 	eco.DirtyLines += d
 	eco.ReusedLines += r
-	eco.ConeExpansions += ec.expansions
+	eco.ConeExpansions += x
 	e.m.ecoDirty.Add(d)
 	e.m.ecoReused.Add(r)
-	e.m.ecoExpansions.Add(ec.expansions)
+	e.m.ecoExpansions.Add(x)
 }

@@ -26,6 +26,12 @@ type PassStat struct {
 	RecalculatedWires int64
 	// EsperanceSkips counts nets carried over from the previous pass.
 	EsperanceSkips int64
+	// ConvergedSkips counts lines the delta-convergent Iterative
+	// refinement carried over because their inputs and neighbor
+	// quiescent times were bit-identical to the previous pass. Zero for
+	// pass 1, for full-recompute passes (including pass 2, which always
+	// recomputes everything) and for Esperance runs.
+	ConvergedSkips int64
 	// LongestPath is the worst endpoint arrival after this pass.
 	LongestPath float64
 	// Wall is the pass's wall-clock time.
@@ -59,7 +65,8 @@ type engineMetrics struct {
 	passes, recalcWires, esperanceSkips                    *obs.Counter
 	levels, parallelLevels, workerCells, seqCells          *obs.Counter
 	ecoDirty, ecoReused, ecoExpansions, ecoFallbacks       *obs.Counter
-	levelCells                                             *obs.Histogram
+	schedSteals, convergedSkips, statePoolReuses           *obs.Counter
+	levelCells, schedReadyDepth                            *obs.Histogram
 	workers                                                *obs.Gauge
 }
 
@@ -85,7 +92,11 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		ecoReused:            r.Counter(obs.MEcoReusedLines),
 		ecoExpansions:        r.Counter(obs.MEcoConeExpansions),
 		ecoFallbacks:         r.Counter(obs.MEcoFullFallbacks),
+		schedSteals:          r.Counter(obs.MSchedSteals),
+		convergedSkips:       r.Counter(obs.MPassConvergedSkips),
+		statePoolReuses:      r.Counter(obs.MPassStateReuses),
 		levelCells:           r.Histogram(obs.MLevelCells),
+		schedReadyDepth:      r.Histogram(obs.MSchedReadyDepth),
 		workers:              r.Gauge(obs.MWorkers),
 	}
 }
@@ -115,6 +126,7 @@ type passHandle struct {
 func (e *Engine) beginPass(pass int, mode Mode) *passHandle {
 	e.passRecalc.Store(0)
 	e.passSkips.Store(0)
+	e.passConverged = 0
 	if e.opts.Observer != nil {
 		e.opts.Observer.PassStarted(pass, mode)
 	}
@@ -140,6 +152,7 @@ func (e *Engine) endPass(ph *passHandle, st []netState) float64 {
 		NewtonIterations:  d.NewtonIterations,
 		RecalculatedWires: e.passRecalc.Load(),
 		EsperanceSkips:    e.passSkips.Load(),
+		ConvergedSkips:    e.passConverged,
 		LongestPath:       longest,
 		Wall:              time.Since(ph.start),
 	}

@@ -130,11 +130,12 @@ func TestObserverCallbacks(t *testing.T) {
 }
 
 // TestMetricsRegistryPopulated: an attached registry must agree with
-// the Result's own counters and cover the coupling decisions.
+// the Result's own counters and cover the coupling decisions. Pinned
+// to the levels scheduler — the level counters are specific to it.
 func TestMetricsRegistryPopulated(t *testing.T) {
 	c, calc := buildExtracted(t, 150, 12, 8, 713)
 	reg := obs.NewRegistry()
-	res := runMode(t, c, calc, Options{Mode: Iterative, Metrics: reg})
+	res := runMode(t, c, calc, Options{Mode: Iterative, Metrics: reg, Scheduler: SchedLevels})
 	d := reg.Snapshot()
 	if got := d.Counters[obs.MArcEvaluations]; got != res.ArcEvaluations {
 		t.Errorf("%s = %d, Result.ArcEvaluations = %d", obs.MArcEvaluations, got, res.ArcEvaluations)

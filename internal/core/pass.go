@@ -24,14 +24,13 @@ import (
 // still see valid (conservative) arrivals.
 func (e *Engine) pass(mode Mode, quietPrev [][2]float64, critical []bool, prev []netState) ([]netState, error) {
 	c := e.C
-	st := make([]netState, len(c.Nets))
+	st := e.getState()
 	for i := range st {
 		if critical != nil && !critical[i] && prev != nil && prev[i].calculated {
 			st[i] = prev[i]
 			continue
 		}
-		st[i].arrival = [2]float64{math.Inf(-1), math.Inf(-1)}
-		st[i].quiet = [2]float64{math.Inf(-1), math.Inf(-1)}
+		st[i] = freshNetState()
 	}
 
 	// Seed primary inputs: both transitions can occur at t = 0 with the
@@ -53,7 +52,7 @@ func (e *Engine) pass(mode Mode, quietPrev [][2]float64, critical []bool, prev [
 	doCell := func(cell *netlist.Cell) error {
 		return e.processCell(mode, st, quietPrev, critical, cell)
 	}
-	if err := e.runLevels("clock", e.clockLevels, e.opts.Workers, doCell); err != nil {
+	if err := e.runPhase(phaseClock, doCell, nil); err != nil {
 		return nil, err
 	}
 
@@ -83,8 +82,8 @@ func (e *Engine) pass(mode Mode, quietPrev [][2]float64, critical []bool, prev [
 		s.calculated = true
 	}
 
-	// Phase 2: combinational sweep, level by level.
-	if err := e.runLevels("main", e.mainLevels, e.opts.Workers, doCell); err != nil {
+	// Phase 2: combinational sweep.
+	if err := e.runPhase(phaseMain, doCell, nil); err != nil {
 		return nil, err
 	}
 	return st, nil

@@ -202,18 +202,44 @@ func (e *Engine) runPasses() ([]netState, int, error) {
 		}
 		delay := e.endPass(ph, st)
 		passes := 1
+		// Delta-convergent refinement: pass k+1 recomputes only the
+		// frontier whose evalArc inputs can differ from pass k — the
+		// coupled victims of pass-k changes (they re-read quiescent
+		// times through quietPrev) plus, under Windows, the changed nets
+		// themselves (own sensitivity bound), grown in-pass by the
+		// fanout of anything that diverges. Pass 2 recomputes fully: the
+		// classifier switches from the one-step rule to stored quiescent
+		// times. Esperance carries its own (approximate) skip rule and
+		// is exact relative to itself only without delta carry-over.
+		delta := !e.opts.Esperance && !e.opts.DisableDeltaRefinement
+		var prevChanged []bool
 		for passes < e.opts.MaxPasses {
 			var critical []bool
-			if e.opts.Esperance {
+			var ec *ecoPass
+			if delta {
+				ec = e.newDeltaPass(st, prevChanged)
+			} else if e.opts.Esperance {
 				critical = e.criticalNets(st, delay)
 			}
 			ph := e.beginPass(passes+1, Iterative)
-			st2, err := e.pass(Iterative, snapshotQuiet(st), critical, st)
+			var st2 []netState
+			var err error
+			if ec != nil {
+				st2, err = e.passSeeded(Iterative, snapshotQuiet(st), ec)
+			} else {
+				st2, err = e.pass(Iterative, snapshotQuiet(st), critical, st)
+			}
 			if err != nil {
 				return nil, 0, err
 			}
 			passes++
+			if ec != nil {
+				e.passConverged = ec.reusedN.Load()
+				e.m.convergedSkips.Add(e.passConverged)
+				prevChanged = ec.changed
+			}
 			newDelay := e.endPass(ph, st2)
+			e.putState(st)
 			st = st2
 			if newDelay >= delay-1e-12 {
 				break

@@ -35,7 +35,12 @@ const (
 	MCouplingZeroSkips = "coupling_zero_eval_skips_total"
 	MTBCSReuseHits     = "tbcs_reuse_hits_total"
 
-	// Engine sweep structure.
+	// Engine sweep structure. Levels/ParallelLevels/LevelCells are
+	// specific to the level-synchronized reference scheduler; the
+	// dataflow wavefront scheduler reports SchedReadyDepth (shared
+	// overflow-queue depth observed at each spill) and SchedSteals
+	// (cells claimed from the shared queue rather than a worker's own
+	// stack) instead. WorkerCells/SequentialCells apply to both.
 	MPasses          = "passes_total"
 	MRecalcWires     = "recalculated_wires_total"
 	MEsperanceSkips  = "esperance_skips_total"
@@ -45,6 +50,13 @@ const (
 	MSequentialCells = "sequential_cells_total"
 	MWorkers         = "workers" // gauge
 	MLevelCells      = "level_cells"
+	MSchedReadyDepth = "sched_ready_queue_depth" // histogram
+	MSchedSteals     = "sched_steals_total"
+	// Delta-convergent Iterative refinement: lines carried over because
+	// their inputs and neighbor quiescent times were bit-identical to
+	// the previous pass. Pooled per-pass state reuses ride along.
+	MPassConvergedSkips = "pass_converged_skips_total"
+	MPassStateReuses    = "pass_state_pool_reuses_total"
 
 	// Incremental (ECO) re-analysis. DirtyLines counts driven lines
 	// actually re-evaluated by a seeded run, ReusedLines the lines

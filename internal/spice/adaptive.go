@@ -25,16 +25,26 @@ type Breakpointer interface {
 // trace buffers. One stage simulation allocates nothing beyond the
 // Result shell once the pool is warm.
 type tranWorkspace struct {
-	nw       *solver.Newton
-	banded   *solver.BandedLU
-	unkIdx   []int
-	x        []float64
-	xPrev    []float64
-	xOld     []float64
-	xPred    []float64
-	capIPrev []float64
-	time     []float64
-	traces   [][]float64
+	nw        *solver.Newton
+	banded    *solver.BandedLU
+	unkIdx    []int
+	x         []float64
+	xPrev     []float64
+	xOld      []float64
+	xPred     []float64
+	capIPrev  []float64
+	drivenSrc []Source
+	drivenIDs []NodeID
+	drivenNow []float64
+	// Compiled-stamp and companion-model scratch (see tranRun).
+	drivenPrev []float64
+	resS       []resStamp
+	capS       []capStamp
+	mosS       []mosStamp
+	capGeq     []float64
+	capHist    []float64
+	time       []float64
+	traces     [][]float64
 }
 
 var tranPool = sync.Pool{New: func() any { return new(tranWorkspace) }}
@@ -57,6 +67,28 @@ func resizeInts(s []int, n int) []int {
 	return s[:n]
 }
 
+// resizeSources clears on reuse: a stale non-nil entry would make a
+// free node of the next circuit read as driven.
+func resizeSources(s []Source, n int) []Source {
+	if cap(s) < n {
+		return make([]Source, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+// resizeSlice reuses capacity without clearing — for scratch whose
+// entries are fully rewritten before any read.
+func resizeSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // newRunWS builds the per-run state like newRun but backed by the
 // pooled workspace's slices (grow-only reuse).
 func (c *Circuit) newRunWS(opts TranOptions, ws *tranWorkspace) (*tranRun, error) {
@@ -67,18 +99,26 @@ func (c *Circuit) newRunWS(opts TranOptions, ws *tranWorkspace) (*tranRun, error
 	}
 	ws.unkIdx = resizeInts(ws.unkIdx, len(c.nodeNames))
 	ws.capIPrev = resizeFloats(ws.capIPrev, len(c.capacitors))
+	ws.drivenSrc = resizeSources(ws.drivenSrc, len(c.nodeNames))
+	ws.drivenNow = resizeFloats(ws.drivenNow, len(c.nodeNames))
 	tr.unkIdx = ws.unkIdx
 	tr.capIPrev = ws.capIPrev
+	tr.drivenSrc = ws.drivenSrc
+	tr.drivenNow = ws.drivenNow
+	tr.drivenIDs = ws.drivenIDs[:0]
 	idx := 0
 	tr.unkIdx[Ground] = -1
 	for id := 1; id < len(c.nodeNames); id++ {
-		if _, ok := c.driven[NodeID(id)]; ok {
+		if src, ok := c.driven[NodeID(id)]; ok {
 			tr.unkIdx[id] = -1
+			tr.drivenSrc[id] = src
+			tr.drivenIDs = append(tr.drivenIDs, NodeID(id))
 			continue
 		}
 		tr.unkIdx[id] = idx
 		idx++
 	}
+	ws.drivenIDs = tr.drivenIDs
 	tr.nFree = idx
 	nUnk := tr.nFree + tr.nBranch
 	if nUnk == 0 {
@@ -90,6 +130,19 @@ func (c *Circuit) newRunWS(opts TranOptions, ws *tranWorkspace) (*tranRun, error
 	ws.xPred = resizeFloats(ws.xPred, nUnk)
 	tr.x = ws.x
 	tr.xPrev = ws.xPrev
+	ws.drivenPrev = resizeFloats(ws.drivenPrev, len(c.nodeNames))
+	ws.resS = resizeSlice(ws.resS, len(c.resistors))
+	ws.capS = resizeSlice(ws.capS, len(c.capacitors))
+	ws.mosS = resizeSlice(ws.mosS, len(c.mosfets))
+	ws.capGeq = resizeSlice(ws.capGeq, len(c.capacitors))
+	ws.capHist = resizeSlice(ws.capHist, len(c.capacitors))
+	tr.drivenPrev = ws.drivenPrev
+	tr.resS = ws.resS
+	tr.capS = ws.capS
+	tr.mosS = ws.mosS
+	tr.capGeq = ws.capGeq
+	tr.capHist = ws.capHist
+	tr.compileStamps()
 	for n, v := range opts.InitialV {
 		if n != Ground {
 			if i := tr.unkIdx[n]; i >= 0 {
@@ -121,6 +174,13 @@ type Tran struct {
 	res    *Result
 	state  *State
 	probes []NodeID
+	// bufs aliases ws.traces[:len(probes)]; record appends here and the
+	// Result's trace map holds pointers into it, so the per-sample loop
+	// does no map operations.
+	bufs [][]float64
+	// settleList is opts.SettleV flattened once at start so the
+	// per-step settle check iterates a slice, not a map.
+	settleList []settleTarget
 
 	t    float64 // current integration time
 	h0   float64 // baseline (fine) step: opts.DT
@@ -149,6 +209,11 @@ type Tran struct {
 	settled   bool
 	closed    bool
 	err       error
+}
+
+type settleTarget struct {
+	n NodeID
+	v float64
 }
 
 // StartTransient begins an adaptive transient run. No integration
@@ -250,10 +315,15 @@ func (c *Circuit) StartTransient(opts TranOptions) (*Tran, error) {
 	for len(ws.traces) < len(probes) {
 		ws.traces = append(ws.traces, nil)
 	}
+	tn.bufs = ws.traces[:len(probes)]
 	tn.res.Time = ws.time[:0]
-	tn.res.traces = make(map[NodeID][]float64, len(probes))
-	for i, p := range probes {
-		tn.res.traces[p] = ws.traces[i][:0]
+	tn.res.traces = make(map[NodeID]*[]float64, len(probes))
+	for i := range probes {
+		tn.bufs[i] = tn.bufs[i][:0]
+		tn.res.traces[probes[i]] = &tn.bufs[i]
+	}
+	for n, v := range opts.SettleV {
+		tn.settleList = append(tn.settleList, settleTarget{n, v})
 	}
 	tr.tNow = 0
 	tn.record(0)
@@ -288,8 +358,8 @@ func (c *Circuit) StartTransient(opts TranOptions) (*Tran, error) {
 // record appends the current state as a trace sample.
 func (tn *Tran) record(t float64) {
 	tn.res.Time = append(tn.res.Time, t)
-	for _, p := range tn.probes {
-		tn.res.traces[p] = append(tn.res.traces[p], tn.tr.nodeV(p, t))
+	for i := range tn.probes {
+		tn.bufs[i] = append(tn.bufs[i], tn.tr.nodeV(tn.probes[i], t))
 	}
 }
 
@@ -335,8 +405,8 @@ func (tn *Tran) Close() {
 	tn.closed = true
 	ws := tn.ws
 	ws.time = tn.res.Time[:0]
-	for i, p := range tn.probes {
-		ws.traces[i] = tn.res.traces[p][:0]
+	for i := range tn.probes {
+		ws.traces[i] = tn.bufs[i][:0]
 	}
 	tn.ws = nil
 	tranPool.Put(ws)
@@ -580,8 +650,8 @@ func (tn *Tran) step(target, hMax float64) error {
 				}
 			}
 			if within {
-				for n, tgt := range tn.opts.SettleV {
-					if math.Abs(tr.nodeV(n, tn.t)-tgt) > tn.opts.SettleTol {
+				for _, st := range tn.settleList {
+					if math.Abs(tr.nodeV(st.n, tn.t)-st.v) > tn.opts.SettleTol {
 						within = false
 						break
 					}

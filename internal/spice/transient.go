@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"xtalksta/internal/device"
 	"xtalksta/internal/solver"
 	"xtalksta/internal/waveform"
 )
@@ -115,8 +116,11 @@ type TranOptions struct {
 
 // Result holds the recorded traces of a transient run.
 type Result struct {
-	Time   []float64
-	traces map[NodeID][]float64
+	Time []float64
+	// traces points at the live per-probe sample buffers, so the
+	// recording loop appends through the pointer without a map write
+	// per sample.
+	traces map[NodeID]*[]float64
 	ckt    *Circuit
 	// Banded reports whether the banded solver was used.
 	Banded bool
@@ -143,7 +147,7 @@ func (r *Result) Trace(n NodeID) (*Trace, error) {
 	if !ok {
 		return nil, fmt.Errorf("spice: node %s was not probed", r.ckt.NodeName(n))
 	}
-	return &Trace{T: r.Time, V: v}, nil
+	return &Trace{T: r.Time, V: *v}, nil
 }
 
 // tranRun is the per-run solver state.
@@ -154,6 +158,42 @@ type tranRun struct {
 	unkIdx  []int // per node: unknown index, or -1 (ground / driven)
 	nFree   int
 	nBranch int
+
+	// drivenSrc flattens ckt.driven into a per-node slice (nil = free
+	// node) so the Eval/nodeV hot paths never touch the map. drivenNow
+	// caches each driven node's source voltage at drivenT: Newton calls
+	// Eval several times per step with tNow fixed, and rails are
+	// referenced once per transistor terminal, so the memo collapses
+	// many interface calls (and PWL searches) into one per timepoint.
+	drivenSrc []Source
+	drivenIDs []NodeID
+	drivenNow []float64
+	drivenT   float64
+	drivenOK  bool
+
+	// Compiled stamps: per-device voltage references and matrix columns
+	// resolved once per run, so the Eval loop is pure array arithmetic
+	// (no per-terminal closure calls or ground/driven branches beyond a
+	// sign test). A reference >= 0 indexes the unknown vector; < 0 is
+	// ^NodeID into drivenNow/drivenPrev (ground is ^0, and index 0 of
+	// those tables is always zero).
+	resS []resStamp
+	capS []capStamp
+	mosS []mosStamp
+
+	// Per-step capacitor companion model. geq and hist depend only on
+	// (xPrev, tPrev, h, capIPrev, effMethod) — all fixed for the whole
+	// Newton solve of a step attempt — so they are computed once per
+	// (tNow, h, method) key instead of once per iteration. drivenPrev
+	// memoizes source voltages at tPrev the same way drivenNow does at
+	// tNow.
+	capGeq, capHist []float64
+	capT, capH      float64
+	capM            Integrator
+	capOK           bool
+	drivenPrev      []float64
+	prevT           float64
+	prevOK          bool
 
 	x        []float64 // free node voltages then branch currents
 	xPrev    []float64
@@ -174,7 +214,7 @@ func (tr *tranRun) nodeV(n NodeID, t float64) float64 {
 	if n == Ground {
 		return 0
 	}
-	if src, ok := tr.ckt.driven[n]; ok {
+	if src := tr.drivenSrc[n]; src != nil {
 		return src.V(t)
 	}
 	return tr.x[tr.unkIdx[n]]
@@ -184,21 +224,200 @@ func (tr *tranRun) prevNodeV(n NodeID) float64 {
 	if n == Ground {
 		return 0
 	}
-	if src, ok := tr.ckt.driven[n]; ok {
+	if src := tr.drivenSrc[n]; src != nil {
 		return src.V(tr.tPrev)
 	}
 	return tr.xPrev[tr.unkIdx[n]]
 }
 
+// resStamp/capStamp/mosStamp are the compiled MNA stamps: va/vb/... are
+// voltage references (see tranRun), ca/cb/... the matrix columns (-1
+// for ground/driven rows, which carry no unknown).
+type resStamp struct {
+	va, vb int32
+	ca, cb int32
+	g      float64
+}
+
+type capStamp struct {
+	va, vb int32
+	ca, cb int32
+	c      float64
+}
+
+type mosStamp struct {
+	vd, vg, vs int32
+	cd, cg, cs int32
+	model      *device.TableModel
+}
+
+// vAt decodes a voltage reference against the iterate x and the
+// memoized driven-node voltages at tNow.
+func (tr *tranRun) vAt(x []float64, r int32) float64 {
+	if r >= 0 {
+		return x[r]
+	}
+	return tr.drivenNow[^r]
+}
+
+// vPrevAt decodes a voltage reference against the previous-step state.
+func (tr *tranRun) vPrevAt(r int32) float64 {
+	if r >= 0 {
+		return tr.xPrev[r]
+	}
+	return tr.drivenPrev[^r]
+}
+
+// compileStamps resolves every device terminal to its voltage
+// reference and matrix column under the run's unknown numbering.
+func (tr *tranRun) compileStamps() {
+	c := tr.ckt
+	ref := func(n NodeID) int32 {
+		if n == Ground {
+			return ^int32(0)
+		}
+		if tr.drivenSrc[n] != nil {
+			return ^int32(n)
+		}
+		return int32(tr.unkIdx[n])
+	}
+	col := func(n NodeID) int32 {
+		if n == Ground {
+			return -1
+		}
+		return int32(tr.unkIdx[n]) // -1 when driven
+	}
+	for i, r := range c.resistors {
+		tr.resS[i] = resStamp{ref(r.a), ref(r.b), col(r.a), col(r.b), r.g}
+	}
+	for i, cp := range c.capacitors {
+		tr.capS[i] = capStamp{ref(cp.a), ref(cp.b), col(cp.a), col(cp.b), cp.c}
+	}
+	for i, m := range c.mosfets {
+		tr.mosS[i] = mosStamp{ref(m.d), ref(m.g), ref(m.s), col(m.d), col(m.g), col(m.s), m.model}
+	}
+}
+
 // Eval implements solver.System: KCL residual and Jacobian at point x.
 func (tr *tranRun) Eval(x []float64, jac *solver.Matrix, res []float64) {
 	ckt := tr.ckt
+	if !tr.drivenOK || tr.drivenT != tr.tNow {
+		for _, n := range tr.drivenIDs {
+			tr.drivenNow[n] = tr.drivenSrc[n].V(tr.tNow)
+		}
+		tr.drivenT = tr.tNow
+		tr.drivenOK = true
+	}
+	// Gmin from every free node to ground.
+	gmin := tr.opts.Gmin
+	for i := 0; i < tr.nFree; i++ {
+		res[i] += gmin * x[i]
+		jac.Add(i, i, gmin)
+	}
+
+	for i := range tr.resS {
+		s := &tr.resS[i]
+		cur := s.g * (tr.vAt(x, s.va) - tr.vAt(x, s.vb))
+		if s.ca >= 0 {
+			res[s.ca] += cur
+			jac.Add(int(s.ca), int(s.ca), s.g)
+			if s.cb >= 0 {
+				jac.Add(int(s.ca), int(s.cb), -s.g)
+			}
+		}
+		if s.cb >= 0 {
+			res[s.cb] -= cur
+			if s.ca >= 0 {
+				jac.Add(int(s.cb), int(s.ca), -s.g)
+			}
+			jac.Add(int(s.cb), int(s.cb), s.g)
+		}
+	}
+
+	if !tr.dcMode {
+		if !tr.capOK || tr.capT != tr.tNow || tr.capH != tr.h || tr.capM != tr.effMethod {
+			// xPrev and capIPrev only change when a step is accepted,
+			// which always advances tNow, so (tNow, h, method) uniquely
+			// keys the companion history of this step attempt.
+			if !tr.prevOK || tr.prevT != tr.tPrev {
+				for _, n := range tr.drivenIDs {
+					tr.drivenPrev[n] = tr.drivenSrc[n].V(tr.tPrev)
+				}
+				tr.prevT = tr.tPrev
+				tr.prevOK = true
+			}
+			for i := range tr.capS {
+				s := &tr.capS[i]
+				dvPrev := tr.vPrevAt(s.va) - tr.vPrevAt(s.vb)
+				var geq, hist float64
+				switch tr.effMethod {
+				case Trapezoidal:
+					geq = 2 * s.c / tr.h
+					hist = geq*dvPrev + tr.capIPrev[i]
+				default: // Backward Euler
+					geq = s.c / tr.h
+					hist = geq * dvPrev
+				}
+				tr.capGeq[i] = geq
+				tr.capHist[i] = hist
+			}
+			tr.capT, tr.capH, tr.capM, tr.capOK = tr.tNow, tr.h, tr.effMethod, true
+		}
+		for i := range tr.capS {
+			s := &tr.capS[i]
+			geq := tr.capGeq[i]
+			cur := geq*(tr.vAt(x, s.va)-tr.vAt(x, s.vb)) - tr.capHist[i]
+			if s.ca >= 0 {
+				res[s.ca] += cur
+				jac.Add(int(s.ca), int(s.ca), geq)
+				if s.cb >= 0 {
+					jac.Add(int(s.ca), int(s.cb), -geq)
+				}
+			}
+			if s.cb >= 0 {
+				res[s.cb] -= cur
+				if s.ca >= 0 {
+					jac.Add(int(s.cb), int(s.ca), -geq)
+				}
+				jac.Add(int(s.cb), int(s.cb), geq)
+			}
+		}
+	}
+
+	for i := range tr.mosS {
+		s := &tr.mosS[i]
+		vgs := tr.vAt(x, s.vg) - tr.vAt(x, s.vs)
+		vds := tr.vAt(x, s.vd) - tr.vAt(x, s.vs)
+		ids, gm, gds := s.model.Eval(vgs, vds)
+		// Current flows d→s (leaves node d, enters node s).
+		if s.cd >= 0 {
+			res[s.cd] += ids
+			if s.cg >= 0 {
+				jac.Add(int(s.cd), int(s.cg), gm)
+			}
+			jac.Add(int(s.cd), int(s.cd), gds)
+			if s.cs >= 0 {
+				jac.Add(int(s.cd), int(s.cs), -(gm + gds))
+			}
+		}
+		if s.cs >= 0 {
+			res[s.cs] -= ids
+			if s.cg >= 0 {
+				jac.Add(int(s.cs), int(s.cg), -gm)
+			}
+			if s.cd >= 0 {
+				jac.Add(int(s.cs), int(s.cd), -gds)
+			}
+			jac.Add(int(s.cs), int(s.cs), gm+gds)
+		}
+	}
+
 	nv := func(n NodeID) float64 {
 		if n == Ground {
 			return 0
 		}
-		if src, ok := ckt.driven[n]; ok {
-			return src.V(tr.tNow)
+		if tr.drivenSrc[n] != nil {
+			return tr.drivenNow[n]
 		}
 		return x[tr.unkIdx[n]]
 	}
@@ -220,61 +439,6 @@ func (tr *tranRun) Eval(x []float64, jac *solver.Matrix, res []float64) {
 			res[ri] += v
 		}
 	}
-
-	// Gmin from every free node to ground.
-	gmin := tr.opts.Gmin
-	for i := 0; i < tr.nFree; i++ {
-		res[i] += gmin * x[i]
-		jac.Add(i, i, gmin)
-	}
-
-	for _, r := range ckt.resistors {
-		i := r.g * (nv(r.a) - nv(r.b))
-		addRes(r.a, i)
-		addRes(r.b, -i)
-		addJ(r.a, col(r.a), r.g)
-		addJ(r.a, col(r.b), -r.g)
-		addJ(r.b, col(r.a), -r.g)
-		addJ(r.b, col(r.b), r.g)
-	}
-
-	if !tr.dcMode {
-		for ci, c := range ckt.capacitors {
-			var geq, hist float64
-			dvPrev := tr.prevNodeV(c.a) - tr.prevNodeV(c.b)
-			switch tr.effMethod {
-			case Trapezoidal:
-				geq = 2 * c.c / tr.h
-				hist = geq*dvPrev + tr.capIPrev[ci]
-			default: // Backward Euler
-				geq = c.c / tr.h
-				hist = geq * dvPrev
-			}
-			i := geq*(nv(c.a)-nv(c.b)) - hist
-			addRes(c.a, i)
-			addRes(c.b, -i)
-			addJ(c.a, col(c.a), geq)
-			addJ(c.a, col(c.b), -geq)
-			addJ(c.b, col(c.a), -geq)
-			addJ(c.b, col(c.b), geq)
-		}
-	}
-
-	for _, m := range ckt.mosfets {
-		vgs := nv(m.g) - nv(m.s)
-		vds := nv(m.d) - nv(m.s)
-		ids, gm, gds := m.model.Eval(vgs, vds)
-		// Current flows d→s (leaves node d, enters node s).
-		addRes(m.d, ids)
-		addRes(m.s, -ids)
-		addJ(m.d, col(m.g), gm)
-		addJ(m.d, col(m.d), gds)
-		addJ(m.d, col(m.s), -(gm + gds))
-		addJ(m.s, col(m.g), -gm)
-		addJ(m.s, col(m.d), -gds)
-		addJ(m.s, col(m.s), gm+gds)
-	}
-
 	for bi, v := range ckt.vsources {
 		bcol := tr.nFree + bi
 		ib := x[bcol]
@@ -356,11 +520,15 @@ func (c *Circuit) newRun(opts TranOptions) (*tranRun, error) {
 		capIPrev: make([]float64, len(c.capacitors)),
 		nBranch:  len(c.vsources),
 	}
+	tr.drivenSrc = make([]Source, len(c.nodeNames))
+	tr.drivenNow = make([]float64, len(c.nodeNames))
 	idx := 0
 	tr.unkIdx[Ground] = -1
 	for id := 1; id < len(c.nodeNames); id++ {
-		if _, ok := c.driven[NodeID(id)]; ok {
+		if src, ok := c.driven[NodeID(id)]; ok {
 			tr.unkIdx[id] = -1
+			tr.drivenSrc[id] = src
+			tr.drivenIDs = append(tr.drivenIDs, NodeID(id))
 			continue
 		}
 		tr.unkIdx[id] = idx
@@ -373,6 +541,13 @@ func (c *Circuit) newRun(opts TranOptions) (*tranRun, error) {
 	}
 	tr.x = make([]float64, nUnk)
 	tr.xPrev = make([]float64, nUnk)
+	tr.drivenPrev = make([]float64, len(c.nodeNames))
+	tr.resS = make([]resStamp, len(c.resistors))
+	tr.capS = make([]capStamp, len(c.capacitors))
+	tr.mosS = make([]mosStamp, len(c.mosfets))
+	tr.capGeq = make([]float64, len(c.capacitors))
+	tr.capHist = make([]float64, len(c.capacitors))
+	tr.compileStamps()
 	for n, v := range opts.InitialV {
 		if n != Ground {
 			if i := tr.unkIdx[n]; i >= 0 {
@@ -450,14 +625,18 @@ func (c *Circuit) Transient(opts TranOptions) (*Result, error) {
 		}
 	}
 	res := &Result{
-		traces: make(map[NodeID][]float64, len(probes)),
+		traces: make(map[NodeID]*[]float64, len(probes)),
 		ckt:    c,
 		Banded: banded,
 	}
+	bufs := make([][]float64, len(probes))
+	for i, p := range probes {
+		res.traces[p] = &bufs[i]
+	}
 	record := func(t float64) {
 		res.Time = append(res.Time, t)
-		for _, p := range probes {
-			res.traces[p] = append(res.traces[p], tr.nodeV(p, t))
+		for i := range probes {
+			bufs[i] = append(bufs[i], tr.nodeV(probes[i], t))
 		}
 	}
 	tr.tNow = 0
