@@ -2,7 +2,7 @@ GO ?= go
 
 # Output file of the bench-json target; override per PR or in CI, e.g.
 #   make bench-json BENCH_OUT=BENCH_ci.json
-BENCH_OUT ?= BENCH_pr4.json
+BENCH_OUT ?= BENCH_pr5.json
 
 # Worker goroutines for the bench-json run (the wavefront scheduler's
 # headline numbers are parallel; set 0 for the sequential reference).
@@ -49,18 +49,24 @@ test:
 
 # Race-detector pass over the packages with worker concurrency and the
 # shared telemetry instruments, plus a dedicated high-worker run of the
-# scheduler parity/abort tests.
+# scheduler parity/abort tests and the concurrent-session contract
+# tests (mixed Analyze/Reanalyze/Edit goroutines on one Design, and
+# the parallel mode/corner sweeps, all bit-compared against serial
+# references — DESIGN.md §11).
 race:
 	$(GO) test -race ./internal/core/ ./internal/delaycalc/ ./internal/obs/ ./internal/incremental/
 	$(GO) test -race -run 'SchedulerParity|Dataflow' -count=1 ./internal/core/
+	$(GO) test -race -run 'Concurrent|Parallel' -count=1 .
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
 # Machine-readable five-mode benchmark table (same schema as
-# BENCH_pr1.json plus the env block, regenerated per PR).
+# BENCH_pr1.json plus the env block, regenerated per PR). -sweep-bench
+# adds the serial-vs-concurrent AnalyzeAll wall-clock comparison
+# (DESIGN.md §11) as the optional "sweep" block.
 bench-json:
-	$(GO) run ./cmd/xtalksta -preset s35932 -scale 0.05 -workers $(BENCH_WORKERS) -json $(BENCH_OUT)
+	$(GO) run ./cmd/xtalksta -preset s35932 -scale 0.05 -workers $(BENCH_WORKERS) -sweep-bench -json $(BENCH_OUT)
 
 # Regression gate: run the small preset and compare each mode's delay
 # against the checked-in baseline. Fails on drift beyond $(BENCH_TOL)%.

@@ -30,6 +30,8 @@ package xtalksta
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"xtalksta/internal/ccc"
 	"xtalksta/internal/circuitgen"
@@ -169,6 +171,16 @@ func (o BuildOptions) withDefaults() BuildOptions {
 
 // Design is a lowered, placed, routed and extracted circuit bundled
 // with its delay calculator — everything an analysis needs.
+//
+// A Design is safe for concurrent use: any number of goroutines may
+// call Analyze, Reanalyze, Report and the corner/LUT variants while
+// others call Edit. Analyses run as independent sessions over an
+// immutable compiled snapshot (core.Compiled) cached on the Design;
+// Edit replaces the circuit copy-on-write and invalidates the
+// snapshots, so in-flight analyses finish against the revision they
+// started on. The sharded characterization cache is shared by all
+// concurrent sessions. Do not read the exported Circuit field directly
+// while another goroutine may Edit; use the accessor methods.
 type Design struct {
 	Circuit *netlist.Circuit
 	Layout  *layout.Layout
@@ -177,6 +189,21 @@ type Design struct {
 	Lib     *device.Library
 	Calc    *delaycalc.Calculator
 	opts    BuildOptions
+	// mu guards Circuit, rev, eco, ecoLog, snap and corners. Analyses
+	// take it only long enough to resolve options against the current
+	// revision and fetch/build the snapshot; the runs themselves hold no
+	// lock.
+	mu sync.RWMutex
+	// snap is the cached compiled snapshot of the current revision under
+	// the typical-corner calculator (nil until first use, nilled by
+	// Edit; rebuilt when the compile key changes).
+	snap *core.Compiled
+	// corners memoizes per-corner device libraries, coupling models and
+	// calculators (circuit-independent, so they survive Edit) plus the
+	// per-corner snapshot (invalidated with the main one). Corner
+	// snapshots cannot share the main one: the per-net summaries bake in
+	// corner-dependent pin capacitances.
+	corners map[Corner]*cornerState
 	// ECO state: rev counts applied edit batches, eco accumulates the
 	// option-level overrides (cell sizes, PI slews), and ecoLog records
 	// each revision's dirty seeds so Reanalyze can union the seeds
@@ -184,6 +211,21 @@ type Design struct {
 	rev    uint64
 	eco    incremental.Overrides
 	ecoLog []ecoRecord
+	// Session and snapshot bookkeeping, mirrored to the obs names
+	// MSnapshotBuilds / MSnapshotReuses / MConcurrentSessionsPeak when
+	// an analysis carries a metrics registry.
+	sessions     atomic.Int64
+	sessionsPeak atomic.Int64
+	snapBuilds   atomic.Int64
+	snapReuses   atomic.Int64
+}
+
+// cornerState is the memoized per-corner evaluation stack.
+type cornerState struct {
+	lib   *device.Library
+	model coupling.Model
+	calc  *delaycalc.Calculator
+	snap  *core.Compiled // guarded by Design.mu
 }
 
 // ecoRecord is one applied edit batch: the revision it produced and the
@@ -281,7 +323,16 @@ func FromBenchAndSPEF(name string, bench, parasitics io.Reader, opts BuildOption
 // WriteSPEF emits the design's extracted parasitics in the SPEF
 // dialect readable by FromBenchAndSPEF.
 func (d *Design) WriteSPEF(w io.Writer) error {
-	return spef.Write(w, d.Circuit)
+	return spef.Write(w, d.circuit())
+}
+
+// circuit returns the current revision of the circuit under the read
+// lock (Edit replaces the pointer copy-on-write, so the returned
+// circuit is a stable read-only view).
+func (d *Design) circuit() *netlist.Circuit {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.Circuit
 }
 
 // GeneratePreset builds one of the paper's benchmark circuits at the
@@ -303,20 +354,94 @@ func Generate(params circuitgen.Params, opts BuildOptions) (*Design, error) {
 	return FromCircuit(c, opts)
 }
 
-// applyECO resolves the design-level defaults and overlays the
+// applyECOLocked resolves the design-level defaults and overlays the
 // accumulated ECO overrides (cell sizes, PI slews) so every analysis
-// path sees the edited design state.
-func (d *Design) applyECO(opts *AnalysisOptions) {
+// path sees the edited design state. Callers hold d.mu (either side);
+// MergeInto clones the override maps into opts, so the merged options
+// stay private to the session. The merge is idempotent — the slow
+// snapshot path re-merges under the write lock to stay consistent with
+// any Edit that interleaved.
+func (d *Design) applyECOLocked(opts *AnalysisOptions) {
 	if opts.POCap == 0 {
 		opts.POCap = d.opts.POCap
 	}
 	d.eco.MergeInto(opts)
 }
 
+// compiledWith resolves opts against the current revision and returns
+// the compiled snapshot for it from *slot (a field guarded by d.mu:
+// &d.snap or a corner's), building and caching one when the slot is
+// empty or its compile key no longer matches. The returned revision is
+// the one the snapshot was built from, read in the same critical
+// section — the caller's consistent view of the design.
+func (d *Design) compiledWith(calc delaycalc.Evaluator, slot **core.Compiled, opts *AnalysisOptions) (*core.Compiled, uint64, error) {
+	d.mu.RLock()
+	d.applyECOLocked(opts)
+	if cd := *slot; cd != nil && cd.Matches(*opts) {
+		rev := d.rev
+		d.mu.RUnlock()
+		d.snapReuses.Add(1)
+		opts.Metrics.Counter(obs.MSnapshotReuses).Inc()
+		return cd, rev, nil
+	}
+	d.mu.RUnlock()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// An Edit may have slipped in between the locks: re-merge the
+	// overrides and re-check so snapshot, options and revision agree.
+	d.applyECOLocked(opts)
+	if cd := *slot; cd != nil && cd.Matches(*opts) {
+		d.snapReuses.Add(1)
+		opts.Metrics.Counter(obs.MSnapshotReuses).Inc()
+		return cd, d.rev, nil
+	}
+	cd, err := core.Compile(d.Circuit, calc, *opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	cd.SetRevision(d.rev)
+	*slot = cd
+	d.snapBuilds.Add(1)
+	opts.Metrics.Counter(obs.MSnapshotBuilds).Inc()
+	return cd, d.rev, nil
+}
+
+// compiled is compiledWith for the typical-corner snapshot.
+func (d *Design) compiled(opts *AnalysisOptions) (*core.Compiled, uint64, error) {
+	return d.compiledWith(d.Calc, &d.snap, opts)
+}
+
+// beginSession tracks the number of concurrently running analysis
+// sessions and its high-water mark; the returned func ends the session.
+func (d *Design) beginSession(reg *MetricsRegistry) func() {
+	n := d.sessions.Add(1)
+	for {
+		peak := d.sessionsPeak.Load()
+		if n <= peak || d.sessionsPeak.CompareAndSwap(peak, n) {
+			break
+		}
+	}
+	reg.Gauge(obs.MConcurrentSessionsPeak).Set(float64(d.sessionsPeak.Load()))
+	return func() { d.sessions.Add(-1) }
+}
+
+// SnapshotStats reports how many compiled snapshots the design has
+// built and how many analyses reused a cached one (corner snapshots
+// included).
+func (d *Design) SnapshotStats() (builds, reuses int64) {
+	return d.snapBuilds.Load(), d.snapReuses.Load()
+}
+
 // Analyze runs one analysis mode.
 func (d *Design) Analyze(opts AnalysisOptions) (*AnalysisResult, error) {
-	d.applyECO(&opts)
-	eng, err := core.NewEngine(d.Circuit, d.Calc, opts)
+	cd, rev, err := d.compiled(&opts)
+	if err != nil {
+		return nil, err
+	}
+	done := d.beginSession(opts.Metrics)
+	defer done()
+	eng, err := core.NewSession(cd, d.Calc, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -325,25 +450,32 @@ func (d *Design) Analyze(opts AnalysisOptions) (*AnalysisResult, error) {
 		return nil, err
 	}
 	if res.Replay != nil {
-		res.Replay.SetRevision(d.rev)
+		res.Replay.SetRevision(rev)
 	}
 	return res, nil
 }
 
 // AnalyzeAll runs all five analyses and returns them in table order.
 // The characterization cache is cleared before each mode so the
-// reported runtimes are standalone, as in the paper's tables.
+// reported runtimes are standalone, as in the paper's tables; set
+// AnalysisOptions.KeepCache (AnalyzeAllOpts) to measure warm-cache
+// behavior instead.
 func (d *Design) AnalyzeAll() ([]*AnalysisResult, error) {
 	return d.AnalyzeAllOpts(AnalysisOptions{})
 }
 
 // AnalyzeAllOpts is AnalyzeAll with shared per-mode options: the
 // Mode field is overridden per run, everything else (Workers, Metrics,
-// Trace, Observer, ...) is passed through.
+// Trace, Observer, ...) is passed through. Unless base.KeepCache is
+// set, the characterization cache is cleared before each mode (the
+// paper-table default: every mode's runtime includes its own
+// characterization cost).
 func (d *Design) AnalyzeAllOpts(base AnalysisOptions) ([]*AnalysisResult, error) {
 	var out []*AnalysisResult
 	for _, m := range Modes() {
-		d.Calc.ClearCache()
+		if !base.KeepCache {
+			d.Calc.ClearCache()
+		}
 		opts := base
 		opts.Mode = m
 		res, err := d.Analyze(opts)
@@ -355,14 +487,57 @@ func (d *Design) AnalyzeAllOpts(base AnalysisOptions) ([]*AnalysisResult, error)
 	return out, nil
 }
 
+// AnalyzeAllParallel runs all five analyses concurrently, one session
+// per mode over the shared compiled snapshot, and returns them in table
+// order. Delays are Float64bits-identical to the serial AnalyzeAll; the
+// per-result work counters (ArcEvaluations, Simulations) differ because
+// the modes share one warm characterization cache — KeepCache is
+// implied, as the shared cache cannot be cleared mid-flight. The
+// Observer option is dropped (its contract is single-goroutine); use a
+// MetricsRegistry for progress instead.
+func (d *Design) AnalyzeAllParallel(base AnalysisOptions) ([]*AnalysisResult, error) {
+	base.Observer = nil
+	base.KeepCache = true
+	modes := Modes()
+	out := make([]*AnalysisResult, len(modes))
+	errs := make([]error, len(modes))
+	var wg sync.WaitGroup
+	for i, m := range modes {
+		wg.Add(1)
+		go func(i int, m Mode) {
+			defer wg.Done()
+			opts := base
+			opts.Mode = m
+			res, err := d.Analyze(opts)
+			if err != nil {
+				errs[i] = fmt.Errorf("xtalksta: %s: %w", m, err)
+				return
+			}
+			out[i] = res
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // TimingReport is the per-endpoint slack view of one analysis.
 type TimingReport = core.TimingReport
 
 // Report runs an analysis and returns per-endpoint setup slacks against
 // the given clock period (classic report_timing).
 func (d *Design) Report(opts AnalysisOptions, clockPeriod float64) (*TimingReport, error) {
-	d.applyECO(&opts)
-	eng, err := core.NewEngine(d.Circuit, d.Calc, opts)
+	cd, _, err := d.compiled(&opts)
+	if err != nil {
+		return nil, err
+	}
+	done := d.beginSession(opts.Metrics)
+	defer done()
+	eng, err := core.NewSession(cd, d.Calc, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -387,11 +562,18 @@ func (d *Design) Precharacterize(cfg LUTConfig) (*LUTLibrary, error) {
 // the circuit-level calculator as fallback for arcs the LUT does not
 // cover (clock buffers, π-model wires).
 func (d *Design) AnalyzeLUT(lut *LUTLibrary, opts AnalysisOptions) (*AnalysisResult, error) {
-	d.applyECO(&opts)
 	// LUT results cannot seed Reanalyze (a seeded run would replay
 	// against the exact calculator, not the interpolated library).
 	opts.DisableReplay = true
-	eng, err := core.NewEngine(d.Circuit, &liberty.Fallback{Primary: lut, Secondary: d.Calc}, opts)
+	// The LUT chain reports the same process and sizing as d.Calc, so
+	// the typical-corner snapshot is shared with the exact analyses.
+	cd, _, err := d.compiled(&opts)
+	if err != nil {
+		return nil, err
+	}
+	done := d.beginSession(opts.Metrics)
+	defer done()
+	eng, err := core.NewSession(cd, &liberty.Fallback{Primary: lut, Secondary: d.Calc}, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -402,8 +584,11 @@ func (d *Design) AnalyzeLUT(lut *LUTLibrary, opts AnalysisOptions) (*AnalysisRes
 // (best:best:worst-coupled) delay triples.
 func (d *Design) ExportSDF(w io.Writer, design string) error {
 	opts := AnalysisOptions{Mode: BestCase, POCap: d.opts.POCap, DisableReplay: true}
-	d.applyECO(&opts)
-	eng, err := core.NewEngine(d.Circuit, d.Calc, opts)
+	cd, _, err := d.compiled(&opts)
+	if err != nil {
+		return err
+	}
+	eng, err := core.NewSession(cd, d.Calc, opts)
 	if err != nil {
 		return err
 	}
@@ -416,8 +601,13 @@ type HoldReport = core.HoldReport
 // ReportHold computes earliest arrivals and checks them against the
 // flip-flop hold requirement.
 func (d *Design) ReportHold(opts AnalysisOptions, holdTime float64) (*HoldReport, error) {
-	d.applyECO(&opts)
-	eng, err := core.NewEngine(d.Circuit, d.Calc, opts)
+	cd, _, err := d.compiled(&opts)
+	if err != nil {
+		return nil, err
+	}
+	done := d.beginSession(opts.Metrics)
+	defer done()
+	eng, err := core.NewSession(cd, d.Calc, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -433,32 +623,111 @@ type CornerResult struct {
 	Result *AnalysisResult
 }
 
+// cornerFor returns the memoized evaluation stack of a process corner,
+// building the device library, coupling model and calculator on first
+// use. The stack is circuit-independent, so it survives Edit — repeated
+// corner sweeps keep their warm characterization caches; only the
+// per-corner compiled snapshot is invalidated with the revision.
+func (d *Design) cornerFor(corner Corner) (*cornerState, error) {
+	d.mu.RLock()
+	cs := d.corners[corner]
+	d.mu.RUnlock()
+	if cs != nil {
+		return cs, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cs := d.corners[corner]; cs != nil {
+		return cs, nil
+	}
+	p := d.Proc.AtCorner(corner)
+	lib := device.NewLibrary(p, d.opts.DeviceGridN)
+	model, err := coupling.NewModel(p.VDD, p.VthModel)
+	if err != nil {
+		return nil, err
+	}
+	cs = &cornerState{
+		lib:   lib,
+		model: model,
+		calc:  delaycalc.New(lib, d.Sizing, model, d.opts.Calc),
+	}
+	if d.corners == nil {
+		d.corners = make(map[Corner]*cornerState)
+	}
+	d.corners[corner] = cs
+	return cs, nil
+}
+
+// analyzeCorner runs one session at one corner over that corner's
+// compiled snapshot.
+func (d *Design) analyzeCorner(corner Corner, opts AnalysisOptions) (*AnalysisResult, error) {
+	cs, err := d.cornerFor(corner)
+	if err != nil {
+		return nil, err
+	}
+	cd, _, err := d.compiledWith(cs.calc, &cs.snap, &opts)
+	if err != nil {
+		return nil, err
+	}
+	done := d.beginSession(opts.Metrics)
+	defer done()
+	eng, err := core.NewSession(cd, cs.calc, opts)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
 // AnalyzeCorners runs the analysis at the slow, typical and fast
 // process corners (device parameters varied; the extracted interconnect
-// is kept, as corner extraction is a separate axis).
+// is kept, as corner extraction is a separate axis). The per-corner
+// device libraries, coupling models and delay calculators are memoized
+// on the Design, so repeated sweeps skip the rebuild and reuse each
+// corner's warm characterization cache.
 func (d *Design) AnalyzeCorners(opts AnalysisOptions) ([]CornerResult, error) {
-	d.applyECO(&opts)
 	// Corner results use corner-specific calculators; a seeded replay
 	// against the typical calculator would be wrong, so capture is off.
 	opts.DisableReplay = true
 	var out []CornerResult
 	for _, corner := range device.Corners() {
-		p := d.Proc.AtCorner(corner)
-		lib := device.NewLibrary(p, d.opts.DeviceGridN)
-		model, err := coupling.NewModel(p.VDD, p.VthModel)
-		if err != nil {
-			return nil, err
-		}
-		calc := delaycalc.New(lib, d.Sizing, model, d.opts.Calc)
-		eng, err := core.NewEngine(d.Circuit, calc, opts)
-		if err != nil {
-			return nil, err
-		}
-		res, err := eng.Run()
+		res, err := d.analyzeCorner(corner, opts)
 		if err != nil {
 			return nil, fmt.Errorf("xtalksta: corner %s: %w", corner, err)
 		}
 		out = append(out, CornerResult{Corner: corner, Result: res})
+	}
+	return out, nil
+}
+
+// AnalyzeCornersParallel runs the corner sweep concurrently, one
+// session per corner, each over its own memoized corner snapshot.
+// Results are Float64bits-identical to the serial AnalyzeCorners (the
+// corners share nothing but the circuit snapshot inputs); the Observer
+// option is dropped, as in AnalyzeAllParallel.
+func (d *Design) AnalyzeCornersParallel(opts AnalysisOptions) ([]CornerResult, error) {
+	opts.DisableReplay = true
+	opts.Observer = nil
+	corners := device.Corners()
+	out := make([]CornerResult, len(corners))
+	errs := make([]error, len(corners))
+	var wg sync.WaitGroup
+	for i, corner := range corners {
+		wg.Add(1)
+		go func(i int, corner Corner) {
+			defer wg.Done()
+			res, err := d.analyzeCorner(corner, opts)
+			if err != nil {
+				errs[i] = fmt.Errorf("xtalksta: corner %s: %w", corner, err)
+				return
+			}
+			out[i] = CornerResult{Corner: corner, Result: res}
+		}(i, corner)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -474,11 +743,14 @@ type SizingConfig = opt.Config
 // timing-driven optimization loop on top of the crosstalk-aware
 // analyses.
 func (d *Design) FixTiming(opts AnalysisOptions, clockPeriod float64, cfg SizingConfig) (*SizingResult, error) {
-	d.applyECO(&opts)
 	// The optimizer's inner analyses never seed a Reanalyze; skip the
 	// per-pass state capture.
 	opts.DisableReplay = true
-	return opt.FixTiming(d.Circuit, d.Calc, opts, clockPeriod, cfg)
+	d.mu.RLock()
+	d.applyECOLocked(&opts)
+	c := d.Circuit
+	d.mu.RUnlock()
+	return opt.FixTiming(c, d.Calc, opts, clockPeriod, cfg)
 }
 
 // NoiseReport is the functional-crosstalk (glitch) view of the design.
@@ -487,14 +759,14 @@ type NoiseReport = noise.Report
 // AnalyzeNoise estimates worst-case crosstalk glitches on every driven
 // net (functional noise, the companion of the delay analysis).
 func (d *Design) AnalyzeNoise() (*NoiseReport, error) {
-	return noise.Analyze(d.Circuit, d.Proc, d.Sizing, d.Lib, noise.Options{})
+	return noise.Analyze(d.circuit(), d.Proc, d.Sizing, d.Lib, noise.Options{})
 }
 
 // GoldenPath re-simulates a critical path at transistor level with
 // coupled aggressors and alignment optimization (the paper's SPICE
 // validation).
 func (d *Design) GoldenPath(path []PathStep, cfg GoldenConfig) (*GoldenOutcome, error) {
-	return pathsim.Simulate(d.Circuit, d.Lib, d.Sizing, path, cfg)
+	return pathsim.Simulate(d.circuit(), d.Lib, d.Sizing, path, cfg)
 }
 
 // PaperTable runs the full table experiment: all five analyses plus,
@@ -512,6 +784,25 @@ func (d *Design) PaperTableOpts(title string, withGolden bool, base AnalysisOpti
 	if err != nil {
 		return nil, err
 	}
+	return d.buildTable(title, withGolden, base, results)
+}
+
+// PaperTableParallel is PaperTableOpts with the five analyses fanned
+// out concurrently, one session per mode over the shared compiled
+// snapshot (AnalyzeAllParallel semantics: delays bit-identical to the
+// serial table, KeepCache implied, Observer dropped). The per-row
+// runtimes overlap on the wall clock and share one warm
+// characterization cache, so they are not comparable to the paper's
+// standalone per-mode runtimes.
+func (d *Design) PaperTableParallel(title string, withGolden bool, base AnalysisOptions) (*Table, error) {
+	results, err := d.AnalyzeAllParallel(base)
+	if err != nil {
+		return nil, err
+	}
+	return d.buildTable(title, withGolden, base, results)
+}
+
+func (d *Design) buildTable(title string, withGolden bool, base AnalysisOptions, results []*AnalysisResult) (*Table, error) {
 	t := &Table{Title: title}
 	var iterRes *AnalysisResult
 	for _, r := range results {
@@ -545,7 +836,7 @@ func (d *Design) PaperTableOpts(title string, withGolden bool, base AnalysisOpti
 
 // Stats returns circuit statistics for reporting.
 func (d *Design) Stats() (netlist.Stats, error) {
-	return d.Circuit.Stats()
+	return d.circuit().Stats()
 }
 
 // ---------------------------------------------------------------------------
@@ -610,7 +901,11 @@ func SetInputSlew(net string, slew float64) Edit {
 // far. Analysis results carry the revision they were produced at, and
 // Reanalyze re-runs exactly the cone dirtied between the result's
 // revision and the current one.
-func (d *Design) Revision() uint64 { return d.rev }
+func (d *Design) Revision() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.rev
+}
 
 // Edit applies a batch of design edits atomically — either every edit
 // lands and the design revision advances by one, or the circuit is left
@@ -622,16 +917,32 @@ func (d *Design) Edit(edits ...Edit) error {
 	return err
 }
 
+// applyEdits applies one edit batch copy-on-write: the edits land on a
+// clone of the circuit, which replaces d.Circuit only when the whole
+// batch succeeds. In-flight analyses keep reading the previous
+// revision's circuit through their compiled snapshots; the cached
+// snapshots are invalidated so the next analysis compiles the new
+// revision.
 func (d *Design) applyEdits(edits []Edit, reg *obs.Registry, tr *obs.Tracer) ([]netlist.NetID, error) {
 	if len(edits) == 0 {
 		return nil, nil
 	}
-	seeds, err := incremental.Apply(d.Circuit, &d.eco, edits, reg, tr)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	clone := d.Circuit.CloneForEdit()
+	// Apply rolls the override state back itself on failure; the clone
+	// is simply discarded.
+	seeds, err := incremental.Apply(clone, &d.eco, edits, reg, tr)
 	if err != nil {
 		return nil, err
 	}
+	d.Circuit = clone
 	d.rev++
 	d.ecoLog = append(d.ecoLog, ecoRecord{rev: d.rev, seeds: seeds})
+	d.snap = nil
+	for _, cs := range d.corners {
+		cs.snap = nil
+	}
 	return seeds, nil
 }
 
@@ -653,31 +964,43 @@ func (d *Design) Reanalyze(prev *AnalysisResult, edits []Edit) (*AnalysisResult,
 		return nil, fmt.Errorf("xtalksta: Reanalyze requires a result from Analyze on this design (no replay state attached)")
 	}
 	rs := prev.Replay
-	if rs.Revision() > d.rev {
-		return nil, fmt.Errorf("xtalksta: result revision %d is newer than design revision %d", rs.Revision(), d.rev)
-	}
-	if rs.Nets() != len(d.Circuit.Nets) {
-		return nil, fmt.Errorf("xtalksta: design has %d nets but the result was analyzed with %d", len(d.Circuit.Nets), rs.Nets())
+	if rs.Revision() > d.Revision() {
+		return nil, fmt.Errorf("xtalksta: result revision %d is newer than design revision %d", rs.Revision(), d.Revision())
 	}
 	opts := rs.Options()
 	if _, err := d.applyEdits(edits, opts.Metrics, opts.Trace); err != nil {
 		return nil, err
 	}
-	if d.rev == rs.Revision() {
+	// Compile (or reuse) the snapshot of the current revision; the
+	// returned revision is the consistent view the seeded run replays
+	// against even if other goroutines keep editing.
+	cd, rev, err := d.compiled(&opts)
+	if err != nil {
+		return nil, err
+	}
+	if rs.Nets() != len(cd.C.Nets) {
+		return nil, fmt.Errorf("xtalksta: design has %d nets but the result was analyzed with %d", len(cd.C.Nets), rs.Nets())
+	}
+	if rev == rs.Revision() {
 		return prev, nil
 	}
-	// Union the dirty seeds of every batch applied after prev's run.
+	// Union the dirty seeds of every batch applied after prev's run, up
+	// to the revision the snapshot was compiled at (ecoLog entries are
+	// append-only history, immutable once written).
 	seed := make([]bool, rs.Nets())
+	d.mu.RLock()
 	for _, rec := range d.ecoLog {
-		if rec.rev <= rs.Revision() {
+		if rec.rev <= rs.Revision() || rec.rev > rev {
 			continue
 		}
 		for _, id := range rec.seeds {
 			seed[id-1] = true
 		}
 	}
-	d.eco.MergeInto(&opts)
-	eng, err := core.NewEngine(d.Circuit, d.Calc, opts)
+	d.mu.RUnlock()
+	done := d.beginSession(opts.Metrics)
+	defer done()
+	eng, err := core.NewSession(cd, d.Calc, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -687,7 +1010,7 @@ func (d *Design) Reanalyze(prev *AnalysisResult, edits []Edit) (*AnalysisResult,
 		return nil, err
 	}
 	if res.Replay != nil {
-		res.Replay.SetRevision(d.rev)
+		res.Replay.SetRevision(rev)
 	}
 	return res, nil
 }

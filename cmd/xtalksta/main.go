@@ -92,6 +92,9 @@ func run() error {
 		cacheShards = flag.Int("cache-shards", 0, "lock stripes of the characterization cache, rounded up to a power of two (0 = default 8)")
 		fixedGrid   = flag.Bool("fixed-grid", false, "use the legacy fixed 700-step transient grid instead of the adaptive kernel")
 
+		parallelModes = flag.Bool("parallel-modes", false, "table mode: run the five analyses concurrently over one compiled snapshot (delays identical; runtimes overlap and share a warm cache)")
+		sweepBench    = flag.Bool("sweep-bench", false, "with -json in table mode: additionally time the five-mode sweep serial (cold cache per mode) vs concurrent (one shared cache) and record both wall-clocks")
+
 		workers     = flag.Int("workers", 0, "worker goroutines per BFS sweep (0/1 = sequential)")
 		sched       = flag.String("sched", "dataflow", "sweep scheduler: dataflow (wavefront) or levels (barrier reference)")
 		metricsPath = flag.String("metrics", "", "write the metrics registry as JSON to this file")
@@ -280,12 +283,25 @@ func run() error {
 		return nil
 	}
 
-	table, err := d.PaperTableOpts(title, *golden, aopts)
+	paperTable := d.PaperTableOpts
+	if *parallelModes {
+		paperTable = d.PaperTableParallel
+	}
+	table, err := paperTable(title, *golden, aopts)
 	if err != nil {
 		return err
 	}
+	var sweep *sweepBenchResult
+	if *sweepBench && *jsonPath != "" {
+		sweep, err = runSweepBench(d, aopts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sweep bench: serial %.0f ms, parallel %.0f ms (%.2fx)\n",
+			sweep.SerialMs, sweep.ParallelMs, sweep.Ratio)
+	}
 	if *jsonPath != "" {
-		if err := writeTableJSON(*jsonPath, title, st, table, *workers, scheduler); err != nil {
+		if err := writeTableJSON(*jsonPath, title, st, table, *workers, scheduler, sweep); err != nil {
 			return err
 		}
 	}
@@ -430,8 +446,41 @@ func gitRevision() string {
 	return "unknown"
 }
 
+// sweepBenchResult is the -sweep-bench wall-clock comparison of the
+// five-mode sweep: serial (AnalyzeAll, cache cleared per mode — the
+// paper-table convention) vs concurrent (AnalyzeAllParallel, one
+// session per mode over the shared snapshot and one shared cache).
+type sweepBenchResult struct {
+	SerialMs   float64 `json:"analyzeall_serial_ms"`
+	ParallelMs float64 `json:"analyzeall_parallel_ms"`
+	Ratio      float64 `json:"parallel_over_serial"`
+}
+
+// runSweepBench times both sweeps from a cold characterization cache.
+// Delays are bit-identical between the two (DESIGN.md §11), so only
+// the wall-clocks are recorded.
+func runSweepBench(d *xtalksta.Design, aopts xtalksta.AnalysisOptions) (*sweepBenchResult, error) {
+	d.Calc.ClearCache()
+	t0 := time.Now()
+	if _, err := d.AnalyzeAllOpts(aopts); err != nil {
+		return nil, err
+	}
+	serial := time.Since(t0)
+	d.Calc.ClearCache()
+	t1 := time.Now()
+	if _, err := d.AnalyzeAllParallel(aopts); err != nil {
+		return nil, err
+	}
+	parallel := time.Since(t1)
+	return &sweepBenchResult{
+		SerialMs:   float64(serial) / 1e6,
+		ParallelMs: float64(parallel) / 1e6,
+		Ratio:      float64(parallel) / float64(serial),
+	}, nil
+}
+
 // writeTableJSON emits the machine-readable all-modes summary (-json).
-func writeTableJSON(path, title string, st netlist.Stats, table *xtalksta.Table, workers int, sched xtalksta.Scheduler) error {
+func writeTableJSON(path, title string, st netlist.Stats, table *xtalksta.Table, workers int, sched xtalksta.Scheduler, sweep *sweepBenchResult) error {
 	type row struct {
 		Method      string  `json:"method"`
 		DelayNs     float64 `json:"delay_ns"`
@@ -440,16 +489,17 @@ func writeTableJSON(path, title string, st netlist.Stats, table *xtalksta.Table,
 		Evaluations int64   `json:"arc_evaluations"`
 	}
 	out := struct {
-		Circuit  string   `json:"circuit"`
-		Cells    int      `json:"cells"`
-		DFFs     int      `json:"dffs"`
-		Nets     int      `json:"nets"`
-		Depth    int      `json:"logic_depth"`
-		Env      benchEnv `json:"env"`
-		Rows     []row    `json:"rows"`
-		GoldenNs float64  `json:"golden_ns,omitempty"`
+		Circuit  string            `json:"circuit"`
+		Cells    int               `json:"cells"`
+		DFFs     int               `json:"dffs"`
+		Nets     int               `json:"nets"`
+		Depth    int               `json:"logic_depth"`
+		Env      benchEnv          `json:"env"`
+		Rows     []row             `json:"rows"`
+		GoldenNs float64           `json:"golden_ns,omitempty"`
+		Sweep    *sweepBenchResult `json:"sweep,omitempty"`
 	}{Circuit: title, Cells: st.Cells, DFFs: st.DFFs, Nets: st.Nets,
-		Depth: st.LogicDepth, GoldenNs: table.GoldenNs,
+		Depth: st.LogicDepth, GoldenNs: table.GoldenNs, Sweep: sweep,
 		Env: benchEnv{
 			GoVersion:   runtime.Version(),
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),

@@ -27,9 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"xtalksta/internal/ccc"
 	"xtalksta/internal/delaycalc"
-	"xtalksta/internal/device"
 	"xtalksta/internal/netlist"
 	"xtalksta/internal/obs"
 	"xtalksta/internal/waveform"
@@ -128,6 +126,13 @@ type Options struct {
 	// exact — keyed on the unquantized input slew — so reuse never
 	// changes results, only skips redundant evaluator calls.
 	DisableBCSReuse bool
+	// KeepCache preserves the shared characterization cache across the
+	// modes of an AnalyzeAll/PaperTable sweep instead of clearing it
+	// before each mode. The default (false) matches the paper's tables:
+	// every mode is timed standalone, re-characterizing from cold.
+	// Consumed by the facade's mode sweeps (the engine itself never
+	// clears the cache); the parallel sweep implies it.
+	KeepCache bool
 	// DisableReplay turns off the per-pass state capture that feeds
 	// Result.Replay (the seed for RunSeeded). Analyses that never feed
 	// an incremental re-run — optimizer inner loops, corner sweeps —
@@ -251,16 +256,17 @@ type Result struct {
 	ECO *ECOStats
 }
 
-// Engine analyzes one extracted circuit.
+// Engine is one analysis session over a compiled snapshot: the
+// embedded *Compiled carries every immutable, shareable artifact
+// (circuit, net summaries, levels, ranks, dataflow graphs), while the
+// Engine itself holds only per-run mutable state. Sessions over the
+// same Compiled are independent and may run concurrently; a single
+// Engine is not safe for concurrent Run calls.
 type Engine struct {
-	C    *netlist.Circuit
+	*Compiled
 	Calc delaycalc.Evaluator
-	Proc device.Process
-	Siz  ccc.Sizing
 
-	opts  Options
-	info  []netInfo // by NetID-1
-	order []netlist.CellID
+	opts Options
 	// Telemetry plumbing: m is never nil (unregistered instruments when
 	// Options.Metrics is nil); trace may be nil (no-op safe).
 	m          *engineMetrics
@@ -276,14 +282,6 @@ type Engine struct {
 	// within a pass and passes are barrier-separated, so the slots need
 	// no locking (see parallel.go).
 	bcs [][]bcsEntry
-	// Level structure for (optionally parallel) level-synchronized
-	// sweeps; see parallel.go.
-	clockLevels [][]netlist.CellID
-	mainLevels  [][]netlist.CellID
-	netRank     []int
-	// Per-phase dataflow dependency graphs for the wavefront scheduler;
-	// see dataflow.go.
-	dfClock, dfMain *dfGraph
 	// statePool recycles per-pass []netState allocations across passes
 	// and runs (driver goroutine only; the final pass state handed to
 	// finish/Report is never pooled, and ReplayState copies are
@@ -292,15 +290,10 @@ type Engine struct {
 	// passConverged is the delta-refinement carry-over count of the
 	// in-flight pass (driver goroutine only; harvested by endPass).
 	passConverged int64
-	// clockSinks maps a clock net to the flip-flops it clocks, for
-	// dirty-cone expansion through launch seeding (eco.go).
-	clockSinks map[netlist.NetID][]netlist.CellID
 	// Replay capture (eco.go): per-pass state copies and the raw
 	// min-pass outputs, reset per analysis, harvested by takeReplay.
 	replayPasses             [][]netState
 	replayEarly, replaySlews [][2]float64
-	// clockLeafArrival maps a DFF cell to its clock-pin arrival.
-	endpoints []endpointRef
 }
 
 type endpointRef struct {
@@ -309,55 +302,16 @@ type endpointRef struct {
 	extra float64        // wire delay to the endpoint pin
 }
 
-// NewEngine prepares an engine. The circuit must be lowered (only INV,
-// NAND, NOR, DFF cells) and carry extracted parasitics.
+// NewEngine prepares a single-use engine: Compile plus NewSession in
+// one step. The circuit must be lowered (only INV, NAND, NOR, DFF
+// cells) and carry extracted parasitics. Callers that analyze the same
+// circuit repeatedly should Compile once and open sessions per run.
 func NewEngine(c *netlist.Circuit, calc delaycalc.Evaluator, opts Options) (*Engine, error) {
-	opts = opts.withDefaults()
-	for _, cell := range c.Cells {
-		if !cell.Kind.Primitive() {
-			return nil, fmt.Errorf("core: cell %s has non-primitive kind %s; run netlist.Lower first", cell.Name, cell.Kind)
-		}
-	}
-	order, err := c.TopoOrder()
+	cd, err := Compile(c, calc, opts)
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{
-		C:     c,
-		Calc:  calc,
-		Proc:  calc.Proc(),
-		Siz:   calc.Siz(),
-		opts:  opts,
-		order: order,
-		m:     newEngineMetrics(opts.Metrics),
-		trace: opts.Trace,
-	}
-	workers := opts.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	e.m.workers.Set(float64(workers))
-	if err := e.buildNetInfo(); err != nil {
-		return nil, err
-	}
-	if !opts.DisableBCSReuse {
-		e.bcs = make([][]bcsEntry, len(c.Nets))
-		for _, cell := range c.Cells {
-			if cell.Kind != netlist.DFF && cell.Out != netlist.NoNet {
-				e.bcs[cell.Out-1] = make([]bcsEntry, 2*len(cell.In))
-			}
-		}
-	}
-	e.buildEndpoints()
-	e.buildLevels()
-	e.buildDataflow()
-	e.clockSinks = make(map[netlist.NetID][]netlist.CellID)
-	for _, cell := range c.Cells {
-		if cell.Kind == netlist.DFF && cell.Clock != netlist.NoNet {
-			e.clockSinks[cell.Clock] = append(e.clockSinks[cell.Clock], cell.ID)
-		}
-	}
-	return e, nil
+	return NewSession(cd, calc, opts)
 }
 
 // piSlewFor returns the input transition time of a primary input,
@@ -369,106 +323,8 @@ func (e *Engine) piSlewFor(net netlist.NetID) float64 {
 	return e.opts.PISlew
 }
 
-// sizeOf returns the effective drive-strength multiplier of a cell.
-func (e *Engine) sizeOf(cid netlist.CellID) float64 {
-	mult := 1.0
-	if m, ok := e.opts.CellSizes[cid]; ok && m > 0 {
-		mult = m
-	}
-	if e.C.Net(e.C.Cell(cid).Out).IsClock {
-		mult *= e.Siz.ClockBufMult
-	}
-	return mult
-}
-
-func (e *Engine) buildNetInfo() error {
-	c := e.C
-	e.info = make([]netInfo, len(c.Nets))
-	for i, n := range c.Nets {
-		inf := &e.info[i]
-		inf.baseCap = n.Par.CWire
-		inf.cwire = n.Par.CWire
-		inf.rwire = n.Par.RWire
-		inf.sumCc = n.Par.TotalCoupling()
-		inf.couplings = n.Par.Couplings
-		inf.sizeMult = 1
-		if n.Driver != netlist.NoCell {
-			inf.sizeMult = e.sizeOf(n.Driver)
-		} else if n.IsClock {
-			inf.sizeMult = e.Siz.ClockBufMult
-		}
-		if n.Driver != netlist.NoCell {
-			drv := c.Cell(n.Driver)
-			inf.driverKind = drv.Kind
-			inf.driverNIn = len(drv.In)
-		}
-		// Sink pin loads.
-		for _, pr := range n.Fanout {
-			sink := c.Cell(pr.Cell)
-			var pinCap float64
-			var err error
-			if sink.Kind == netlist.DFF {
-				pinCap = ccc.DFFDataCap(e.Proc, e.Siz)
-			} else {
-				pinCap, err = ccc.InputCap(e.Proc, e.Siz, sink.Kind, len(sink.In), e.sizeOf(sink.ID))
-				if err != nil {
-					return err
-				}
-			}
-			inf.baseCap += pinCap
-			if d := n.Par.SinkWireDelay[pr]; d > inf.maxSinkElmore {
-				inf.maxSinkElmore = d
-			}
-		}
-		if n.IsPO {
-			inf.baseCap += e.opts.POCap
-			if n.Par.POWireDelay > inf.maxSinkElmore {
-				inf.maxSinkElmore = n.Par.POWireDelay
-			}
-		}
-	}
-	// Clock-pin caps: add per DFF to its clock net.
-	for _, cell := range e.C.Cells {
-		if cell.Kind == netlist.DFF && cell.Clock != netlist.NoNet {
-			inf := &e.info[cell.Clock-1]
-			inf.baseCap += ccc.DFFClockCap(e.Proc, e.Siz)
-			pr := netlist.PinRef{Cell: cell.ID, Pin: layoutClockPin}
-			if d := e.C.Net(cell.Clock).Par.SinkWireDelay[pr]; d > inf.maxSinkElmore {
-				inf.maxSinkElmore = d
-			}
-		}
-	}
-	return nil
-}
-
 // layoutClockPin aliases the PinRef protocol constant for clock pins.
 const layoutClockPin = netlist.ClockPinIndex
-
-func (e *Engine) buildEndpoints() {
-	c := e.C
-	for _, cell := range c.Cells {
-		if cell.Kind != netlist.DFF {
-			continue
-		}
-		d := cell.In[0]
-		pr := netlist.PinRef{Cell: cell.ID, Pin: 0}
-		e.endpoints = append(e.endpoints, endpointRef{
-			net: d, cell: cell.ID, extra: c.Net(d).Par.SinkWireDelay[pr],
-		})
-	}
-	for _, po := range c.POs {
-		e.endpoints = append(e.endpoints, endpointRef{
-			net: po, cell: netlist.NoCell, extra: c.Net(po).Par.POWireDelay,
-		})
-	}
-	if e.opts.PiModel {
-		// π-model arrivals are already measured at the receiving end of
-		// the wire; the Elmore endpoint extras would double-count.
-		for i := range e.endpoints {
-			e.endpoints[i].extra = 0
-		}
-	}
-}
 
 // Run executes the configured analysis.
 func (e *Engine) Run() (*Result, error) {

@@ -82,12 +82,12 @@ type dfGraph struct {
 
 // buildDataflow constructs the per-phase dependency graphs (NewEngine,
 // after buildLevels — the edges need netRank).
-func (e *Engine) buildDataflow() {
+func (e *Compiled) buildDataflow() {
 	e.dfClock = e.buildPhaseGraph(e.clockLevels)
 	e.dfMain = e.buildPhaseGraph(e.mainLevels)
 }
 
-func (e *Engine) buildPhaseGraph(levels [][]netlist.CellID) *dfGraph {
+func (e *Compiled) buildPhaseGraph(levels [][]netlist.CellID) *dfGraph {
 	g := &dfGraph{}
 	for _, level := range levels {
 		g.cells = append(g.cells, level...)

@@ -25,7 +25,7 @@ import (
 
 // buildLevels computes per-cell levels for the two phases and per-net
 // ranks for the calculated-neighbor test.
-func (e *Engine) buildLevels() {
+func (e *Compiled) buildLevels() {
 	c := e.C
 	// Net rank: seeds (PIs) are 0; a driven net is 1 + max rank of the
 	// driving cell's inputs. Clock phase first, then DFF Q seeds, then
@@ -101,7 +101,7 @@ func (e *Engine) buildLevels() {
 
 // netCalculatedAt reports whether, while processing a cell whose output
 // has the given rank, the neighbor net counts as already calculated.
-func (e *Engine) netCalculatedAt(neighbor netlist.NetID, outRank int) bool {
+func (e *Compiled) netCalculatedAt(neighbor netlist.NetID, outRank int) bool {
 	r := e.netRank[neighbor]
 	if r < 0 {
 		return false // unreachable net: never calculated

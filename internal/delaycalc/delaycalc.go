@@ -148,6 +148,52 @@ type Calculator struct {
 	// is nil). Hit/contention counts depend on goroutine scheduling and
 	// are deliberately NOT part of Counters.
 	m calcMetrics
+
+	// Stamp-table prototypes keyed by stage topology. Stage circuits for
+	// the same (kind, fan-in, pin, wire model) are structurally identical
+	// regardless of element values or corner, so the unknown numbering
+	// and compiled stamp references are derived once and shared by every
+	// matching transient run (spice.StampProto.Matches re-verifies the
+	// structure before each reuse, so a stale entry is ignored, never
+	// wrong).
+	protoMu sync.RWMutex
+	protos  map[protoKey]*spice.StampProto
+}
+
+// protoKey identifies a stage-circuit topology: BuildStageRC's structure
+// is fully determined by the gate kind, fan-in, switching pin and
+// whether the π wire model (RWire > 0) is in play.
+type protoKey struct {
+	kind netlist.GateKind
+	nin  int
+	pin  int
+	rc   bool
+}
+
+// protoFor returns the cached stamp prototype for the request's stage
+// topology, compiling and caching it on first use. Returns nil (run
+// compiles from scratch) when the cached entry does not match the
+// circuit or compilation fails — the prototype is purely an
+// optimization and never load-bearing for correctness.
+func (c *Calculator) protoFor(r Request, ckt *spice.Circuit) *spice.StampProto {
+	key := protoKey{kind: r.Kind, nin: r.NIn, pin: r.Pin, rc: r.RWire > 0}
+	c.protoMu.RLock()
+	p := c.protos[key]
+	c.protoMu.RUnlock()
+	if p.Matches(ckt) {
+		return p
+	}
+	np, err := spice.CompileProto(ckt)
+	if err != nil {
+		return nil
+	}
+	c.protoMu.Lock()
+	if c.protos == nil {
+		c.protos = make(map[protoKey]*spice.StampProto)
+	}
+	c.protos[key] = np
+	c.protoMu.Unlock()
+	return np
 }
 
 // cacheShard is one lock stripe of the characterization cache.
@@ -366,16 +412,31 @@ func (c *Calculator) quantize(r Request) (cacheKey, Request) {
 // Eval evaluates a timing arc, consulting the cache. Concurrent
 // requests that quantize to the same cache key share one simulation.
 func (c *Calculator) Eval(r Request) (Result, error) {
+	res, _, err := c.EvalInfo(r)
+	return res, err
+}
+
+// EvalInfo is Eval plus the per-call work breakdown, letting a session
+// scope (Scoped) attribute requests, simulations and Newton work to the
+// run that incurred them while the calculator's own counters stay
+// shared. Cache hits and single-flight waiters report Simulations == 0
+// — the same accounting the shared counters use, so scoped sums match
+// the serial Stats deltas exactly.
+func (c *Calculator) EvalInfo(r Request) (Result, Info, error) {
+	var info Info
 	if err := c.validate(r); err != nil {
-		return Result{}, err
+		return Result{}, info, err
 	}
 	if r.SizeMult <= 0 {
 		r.SizeMult = 1
 	}
+	info.Requests = 1
 	c.requests.Add(1)
 	if c.opts.DisableCache {
+		info.Simulations = 1
 		c.misses.Add(1)
-		return c.simulate(r)
+		res, err := c.simulate(r, &info)
+		return res, info, err
 	}
 	key, q := c.quantize(r)
 	sh := c.shardOf(key)
@@ -383,7 +444,7 @@ func (c *Calculator) Eval(r Request) (Result, error) {
 	if res, ok := sh.cache[key]; ok {
 		sh.mu.Unlock()
 		c.m.hits.Inc()
-		return res, nil
+		return res, info, nil
 	}
 	if fl, ok := sh.inflight[key]; ok {
 		sh.mu.Unlock()
@@ -391,15 +452,16 @@ func (c *Calculator) Eval(r Request) (Result, error) {
 		// A single-flight waiter got the result without simulating:
 		// count it as a hit so hits + misses == requests.
 		c.m.hits.Inc()
-		return fl.res, fl.err
+		return fl.res, info, fl.err
 	}
 	fl := &flight{done: make(chan struct{})}
 	sh.inflight[key] = fl
 	sh.mu.Unlock()
+	info.Simulations = 1
 	c.misses.Add(1)
 	c.m.misses.Inc()
 
-	res, err := c.simulate(q)
+	res, err := c.simulate(q, &info)
 	c.lock(sh)
 	if err == nil {
 		sh.cache[key] = res
@@ -409,9 +471,20 @@ func (c *Calculator) Eval(r Request) (Result, error) {
 	fl.res, fl.err = res, err
 	close(fl.done)
 	if err != nil {
-		return Result{}, err
+		return Result{}, info, err
 	}
-	return res, nil
+	return res, info, nil
+}
+
+// addNewton accumulates Newton work on the calculator-lifetime atomics
+// and on the per-call Info (nil-safe for internal callers without one).
+func (c *Calculator) addNewton(info *Info, iters, fails int64) {
+	c.newtonIters.Add(iters)
+	c.newtonFails.Add(fails)
+	if info != nil {
+		info.NewtonIterations += iters
+		info.NewtonFailures += fails
+	}
 }
 
 func (c *Calculator) validate(r Request) error {
@@ -431,7 +504,8 @@ func (c *Calculator) validate(r Request) error {
 }
 
 // simulate runs the stage circuit for the (possibly quantized) request.
-func (c *Calculator) simulate(r Request) (Result, error) {
+// info receives the per-call Newton breakdown (may be nil).
+func (c *Calculator) simulate(r Request, info *Info) (Result, error) {
 	p := c.Lib.Proc
 	var st *ccc.Stage
 	var err error
@@ -480,16 +554,16 @@ func (c *Calculator) simulate(r Request) (Result, error) {
 
 	window := r.InSlew + 25*(rdrive*ctot+r.RWire*(r.CFar+r.CCouple)) + 0.5e-9
 	if c.opts.FixedGrid {
-		return c.simulateFixed(r, st, ev, hasEvent, window, tIn50, ctot)
+		return c.simulateFixed(r, st, ev, hasEvent, window, tIn50, ctot, info)
 	}
-	return c.simulateAdaptive(r, st, ev, hasEvent, window, tIn50, ctot)
+	return c.simulateAdaptive(r, st, ev, hasEvent, window, tIn50, ctot, info)
 }
 
 // simulateFixed is the legacy reference integration: a fixed
 // StepsPerRun-step grid, resimulated from t=0 with a 2.5× window
 // whenever the output fails to settle.
 func (c *Calculator) simulateFixed(r Request, st *ccc.Stage, ev coupling.Event, hasEvent bool,
-	window, tIn50, ctot float64) (Result, error) {
+	window, tIn50, ctot float64, info *Info) (Result, error) {
 	p := c.Lib.Proc
 	eventTime := math.NaN()
 	for attempt := 0; attempt < 4; attempt++ {
@@ -520,11 +594,10 @@ func (c *Calculator) simulateFixed(r Request, st *ccc.Stage, ev coupling.Event, 
 			Events:   events,
 		})
 		if err != nil {
-			c.newtonFails.Add(1)
+			c.addNewton(info, 0, 1)
 			return Result{}, fmt.Errorf("delaycalc: %s%d pin %d %s: %w", r.Kind, r.NIn, r.Pin, r.Dir, err)
 		}
-		c.newtonIters.Add(int64(res.NewtonIterations))
-		c.newtonFails.Add(int64(res.NewtonRetries))
+		c.addNewton(info, int64(res.NewtonIterations), int64(res.NewtonRetries))
 		c.m.steps.Add(int64(res.Steps))
 		tr, err := res.Trace(st.Far)
 		if err != nil {
@@ -545,7 +618,7 @@ func (c *Calculator) simulateFixed(r Request, st *ccc.Stage, ev coupling.Event, 
 // the output has not settled, terminated early by the settle detector,
 // with all scratch coming from the spice workspace pool.
 func (c *Calculator) simulateAdaptive(r Request, st *ccc.Stage, ev coupling.Event, hasEvent bool,
-	window, tIn50, ctot float64) (Result, error) {
+	window, tIn50, ctot float64, info *Info) (Result, error) {
 	p := c.Lib.Proc
 	eventTime := math.NaN()
 	var events []*spice.Event
@@ -569,6 +642,7 @@ func (c *Calculator) simulateAdaptive(r Request, st *ccc.Stage, ev coupling.Even
 		InitialV: st.InitialV,
 		Probes:   []spice.NodeID{st.Far},
 		Events:   events,
+		Proto:    c.protoFor(r, st.Ckt),
 		// The settle detector uses a tolerance tighter than the 5%-of-
 		// VDD settled check below, so an early stop always passes it.
 		SettleV:       map[spice.NodeID]float64{st.Far: st.OutFinal},
@@ -576,13 +650,12 @@ func (c *Calculator) simulateAdaptive(r Request, st *ccc.Stage, ev coupling.Even
 		MinSettleTime: r.InSlew,
 	})
 	if err != nil {
-		c.newtonFails.Add(1)
+		c.addNewton(info, 0, 1)
 		return Result{}, fmt.Errorf("delaycalc: %s%d pin %d %s: %w", r.Kind, r.NIn, r.Pin, r.Dir, err)
 	}
 	defer func() {
 		res := tn.Result()
-		c.newtonIters.Add(int64(res.NewtonIterations))
-		c.newtonFails.Add(int64(res.NewtonRetries))
+		c.addNewton(info, int64(res.NewtonIterations), int64(res.NewtonRetries))
 		c.m.steps.Add(int64(res.Steps))
 		c.m.rejections.Add(int64(res.Rejections))
 		if res.EarlyStop {
@@ -596,7 +669,7 @@ func (c *Calculator) simulateAdaptive(r Request, st *ccc.Stage, ev coupling.Even
 			c.m.ext.Inc()
 		}
 		if err := tn.Advance(window); err != nil {
-			c.newtonFails.Add(1)
+			c.addNewton(info, 0, 1)
 			return Result{}, fmt.Errorf("delaycalc: %s%d pin %d %s: %w", r.Kind, r.NIn, r.Pin, r.Dir, err)
 		}
 		tr, err := tn.Result().Trace(st.Far)

@@ -1,0 +1,79 @@
+package delaycalc
+
+import (
+	"testing"
+
+	"xtalksta/internal/ccc"
+	"xtalksta/internal/netlist"
+	"xtalksta/internal/waveform"
+)
+
+// stageFor builds the same stage circuit simulate would for the
+// request (lumped or π depending on RWire).
+func stageFor(t *testing.T, c *Calculator, r Request) *ccc.Stage {
+	t.Helper()
+	var st *ccc.Stage
+	var err error
+	if r.RWire > 0 {
+		st, err = ccc.BuildStageRC(c.Lib, c.Sizing, r.Kind, r.NIn, r.Pin, r.Dir,
+			r.InSlew, r.CLoad, r.RWire, r.CFar+r.CCouple, r.SizeMult)
+	} else {
+		st, err = ccc.BuildStage(c.Lib, c.Sizing, r.Kind, r.NIn, r.Pin, r.Dir,
+			r.InSlew, r.CLoad+r.CFar+r.CCouple, r.SizeMult)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestProtoCacheValidatesAcrossTopologies compiles a prototype for a
+// spread of stage topologies (kinds × fan-ins × pins × wire models) and
+// proves, via the exhaustive Validate, that the cached structure equals
+// a from-scratch compilation of an independently built stage with
+// different element values — the invariant the proto cache key
+// (kind, nin, pin, rc) rests on.
+func TestProtoCacheValidatesAcrossTopologies(t *testing.T) {
+	c := newCalc(t, Options{})
+	reqs := []Request{
+		{Kind: netlist.INV, NIn: 1, Pin: 0, Dir: waveform.Rising, InSlew: 0.3e-9, CLoad: 60e-15},
+		{Kind: netlist.NAND, NIn: 2, Pin: 1, Dir: waveform.Falling, InSlew: 0.2e-9, CLoad: 40e-15},
+		{Kind: netlist.NAND, NIn: 3, Pin: 0, Dir: waveform.Rising, InSlew: 0.4e-9, CLoad: 80e-15},
+		{Kind: netlist.NOR, NIn: 2, Pin: 0, Dir: waveform.Rising, InSlew: 0.3e-9, CLoad: 50e-15},
+		{Kind: netlist.INV, NIn: 1, Pin: 0, Dir: waveform.Falling, InSlew: 0.3e-9,
+			CLoad: 30e-15, RWire: 120, CFar: 25e-15, CCouple: 40e-15},
+	}
+	for _, r := range reqs {
+		st := stageFor(t, c, r)
+		p := c.protoFor(r, st.Ckt)
+		if p == nil {
+			t.Fatalf("%s%d pin %d rc=%v: protoFor returned nil", r.Kind, r.NIn, r.Pin, r.RWire > 0)
+		}
+		if err := p.Validate(st.Ckt); err != nil {
+			t.Fatalf("%s%d pin %d rc=%v: %v", r.Kind, r.NIn, r.Pin, r.RWire > 0, err)
+		}
+
+		// Same topology, different element values and input timing:
+		// the cached prototype must be returned and still validate.
+		r2 := r
+		r2.InSlew *= 1.7
+		r2.CLoad *= 2.5
+		r2.Dir = r.Dir.Opposite()
+		st2 := stageFor(t, c, r2)
+		p2 := c.protoFor(r2, st2.Ckt)
+		if p2 != p {
+			t.Fatalf("%s%d pin %d rc=%v: value change invalidated the prototype", r.Kind, r.NIn, r.Pin, r.RWire > 0)
+		}
+		if err := p2.Validate(st2.Ckt); err != nil {
+			t.Fatalf("%s%d pin %d rc=%v (revalued): %v", r.Kind, r.NIn, r.Pin, r.RWire > 0, err)
+		}
+	}
+
+	// Distinct topologies must have distinct cache entries.
+	c.protoMu.RLock()
+	n := len(c.protos)
+	c.protoMu.RUnlock()
+	if n != len(reqs) {
+		t.Fatalf("expected %d cached prototypes, got %d", len(reqs), n)
+	}
+}

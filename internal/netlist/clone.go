@@ -1,0 +1,22 @@
+package netlist
+
+// CloneForEdit returns a copy of the circuit that is safe to mutate
+// through the incremental-edit paths while the original keeps serving
+// read-only analyses (copy-on-write revisioning). Every Net struct and
+// its Couplings slice is copied — incremental edits rewrite coupling
+// entries in place and compact the slice against its backing array —
+// while everything the editors never touch is shared with the original:
+// Cells, Fanout slices, SinkWireDelay maps, the PI/PO lists and the
+// name index (edits never add or rename nets).
+func (c *Circuit) CloneForEdit() *Circuit {
+	nc := *c
+	nc.Nets = make([]*Net, len(c.Nets))
+	for i, n := range c.Nets {
+		cn := *n
+		if n.Par.Couplings != nil {
+			cn.Par.Couplings = append([]Coupling(nil), n.Par.Couplings...)
+		}
+		nc.Nets[i] = &cn
+	}
+	return &nc
+}

@@ -69,6 +69,15 @@ const (
 	MEcoConeExpansions = "eco_cone_expansions"
 	MEcoFullFallbacks  = "eco_full_fallbacks_total"
 
+	// Compiled-snapshot lifecycle and concurrent analysis sessions.
+	// Builds counts core.Compile invocations on behalf of a Design (one
+	// per revision × compile key in the steady state), Reuses the
+	// analyses served from an already-built snapshot, and the peak gauge
+	// the high-water mark of simultaneously running sessions.
+	MSnapshotBuilds         = "snapshot_builds_total"
+	MSnapshotReuses         = "snapshot_reuses_total"
+	MConcurrentSessionsPeak = "concurrent_sessions_peak" // gauge
+
 	// Layout / extraction.
 	MLayoutNetsRouted    = "layout_nets_routed_total"
 	MLayoutCouplingPairs = "layout_coupling_pairs_total"

@@ -106,20 +106,32 @@ func (c *Circuit) newRunWS(opts TranOptions, ws *tranWorkspace) (*tranRun, error
 	tr.drivenSrc = ws.drivenSrc
 	tr.drivenNow = ws.drivenNow
 	tr.drivenIDs = ws.drivenIDs[:0]
-	idx := 0
-	tr.unkIdx[Ground] = -1
-	for id := 1; id < len(c.nodeNames); id++ {
-		if src, ok := c.driven[NodeID(id)]; ok {
-			tr.unkIdx[id] = -1
-			tr.drivenSrc[id] = src
-			tr.drivenIDs = append(tr.drivenIDs, NodeID(id))
-			continue
+	if p := opts.Proto; p.Matches(c) {
+		// Structure precompiled: copy the numbering and look up only the
+		// driven nodes' sources instead of scanning every node.
+		tr.proto = p
+		copy(tr.unkIdx, p.unkIdx)
+		for _, id := range p.drivenIDs {
+			tr.drivenSrc[id] = c.driven[id]
+			tr.drivenIDs = append(tr.drivenIDs, id)
 		}
-		tr.unkIdx[id] = idx
-		idx++
+		tr.nFree = p.nFree
+	} else {
+		idx := 0
+		tr.unkIdx[Ground] = -1
+		for id := 1; id < len(c.nodeNames); id++ {
+			if src, ok := c.driven[NodeID(id)]; ok {
+				tr.unkIdx[id] = -1
+				tr.drivenSrc[id] = src
+				tr.drivenIDs = append(tr.drivenIDs, NodeID(id))
+				continue
+			}
+			tr.unkIdx[id] = idx
+			idx++
+		}
+		tr.nFree = idx
 	}
 	ws.drivenIDs = tr.drivenIDs
-	tr.nFree = idx
 	nUnk := tr.nFree + tr.nBranch
 	if nUnk == 0 {
 		return nil, fmt.Errorf("spice: circuit has no unknowns (empty or fully driven)")
@@ -142,7 +154,24 @@ func (c *Circuit) newRunWS(opts TranOptions, ws *tranWorkspace) (*tranRun, error
 	tr.mosS = ws.mosS
 	tr.capGeq = ws.capGeq
 	tr.capHist = ws.capHist
-	tr.compileStamps()
+	if p := tr.proto; p != nil {
+		// Stamp references come from the prototype; only the element
+		// values are read live from the circuit.
+		for i, r := range c.resistors {
+			pr := p.resRef[i]
+			tr.resS[i] = resStamp{pr.va, pr.vb, pr.ca, pr.cb, r.g}
+		}
+		for i, cp := range c.capacitors {
+			pr := p.capRef[i]
+			tr.capS[i] = capStamp{pr.va, pr.vb, pr.ca, pr.cb, cp.c}
+		}
+		for i, m := range c.mosfets {
+			pr := p.mosRef[i]
+			tr.mosS[i] = mosStamp{pr.vd, pr.vg, pr.vs, pr.cd, pr.cg, pr.cs, m.model}
+		}
+	} else {
+		tr.compileStamps()
+	}
 	for n, v := range opts.InitialV {
 		if n != Ground {
 			if i := tr.unkIdx[n]; i >= 0 {
@@ -261,7 +290,13 @@ func (c *Circuit) StartTransient(opts TranOptions) (*Tran, error) {
 	}
 	banded := false
 	if !opts.ForceDense {
-		if bw := tr.bandwidth(); nUnk >= 40 && bw <= 16 {
+		bw := 0
+		if tr.proto != nil {
+			bw = tr.proto.bw
+		} else {
+			bw = tr.bandwidth()
+		}
+		if nUnk >= 40 && bw <= 16 {
 			if ws.banded == nil {
 				ws.banded = solver.NewBandedLU(nUnk, bw)
 			} else {

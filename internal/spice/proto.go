@@ -1,0 +1,209 @@
+package spice
+
+import "fmt"
+
+// StampProto is the structure-only part of a transient run's
+// compilation: the unknown numbering, the per-device voltage-reference
+// and matrix-column stamps (values excluded — those are read live from
+// the circuit), and the matrix half-bandwidth. Stage circuits built by
+// the delay calculator for the same (gate kind, fan-in, switching pin,
+// wire model) share their topology exactly, so the prototype is
+// compiled once and reused by every run over a structurally identical
+// circuit, skipping the numbering loop, the stamp reference resolution
+// and the bandwidth scan.
+//
+// A prototype is immutable after CompileProto and safe to share across
+// goroutines; it depends only on circuit structure, never on element
+// values, source timing or process corner. Matches guards reuse: a
+// circuit with different counts or a different driven-node set falls
+// back to the full per-run compilation, so correctness never depends
+// on the caller's cache key being precise.
+type StampProto struct {
+	nNodes, nRes, nCap, nMos, nVsrc int
+
+	nFree     int
+	unkIdx    []int
+	drivenIDs []NodeID
+
+	resRef []protoRef2
+	capRef []protoRef2
+	mosRef []protoRef3
+
+	bw int
+}
+
+// protoRef2/protoRef3 mirror the reference/column fields of
+// resStamp/capStamp and mosStamp (see compileStamps for the encoding).
+type protoRef2 struct{ va, vb, ca, cb int32 }
+
+type protoRef3 struct{ vd, vg, vs, cd, cg, cs int32 }
+
+// CompileProto derives the prototype from a built circuit, performing
+// the same numbering, reference resolution and bandwidth scan that
+// newRunWS would, once.
+func CompileProto(c *Circuit) (*StampProto, error) {
+	p := &StampProto{
+		nNodes: len(c.nodeNames),
+		nRes:   len(c.resistors),
+		nCap:   len(c.capacitors),
+		nMos:   len(c.mosfets),
+		nVsrc:  len(c.vsources),
+		unkIdx: make([]int, len(c.nodeNames)),
+	}
+	idx := 0
+	p.unkIdx[Ground] = -1
+	for id := 1; id < len(c.nodeNames); id++ {
+		if _, ok := c.driven[NodeID(id)]; ok {
+			p.unkIdx[id] = -1
+			p.drivenIDs = append(p.drivenIDs, NodeID(id))
+			continue
+		}
+		p.unkIdx[id] = idx
+		idx++
+	}
+	p.nFree = idx
+	if p.nFree+p.nVsrc == 0 {
+		return nil, fmt.Errorf("spice: circuit has no unknowns (empty or fully driven)")
+	}
+
+	ref := func(n NodeID) int32 {
+		if n == Ground {
+			return ^int32(0)
+		}
+		if _, ok := c.driven[n]; ok {
+			return ^int32(n)
+		}
+		return int32(p.unkIdx[n])
+	}
+	col := func(n NodeID) int32 {
+		if n == Ground {
+			return -1
+		}
+		return int32(p.unkIdx[n]) // -1 when driven
+	}
+	p.resRef = make([]protoRef2, len(c.resistors))
+	for i, r := range c.resistors {
+		p.resRef[i] = protoRef2{ref(r.a), ref(r.b), col(r.a), col(r.b)}
+	}
+	p.capRef = make([]protoRef2, len(c.capacitors))
+	for i, cp := range c.capacitors {
+		p.capRef[i] = protoRef2{ref(cp.a), ref(cp.b), col(cp.a), col(cp.b)}
+	}
+	p.mosRef = make([]protoRef3, len(c.mosfets))
+	for i, m := range c.mosfets {
+		p.mosRef[i] = protoRef3{ref(m.d), ref(m.g), ref(m.s), col(m.d), col(m.g), col(m.s)}
+	}
+
+	// Half bandwidth under the numbering above (same scan as
+	// tranRun.bandwidth).
+	upd := func(a, b NodeID) {
+		ia, ib := -1, -1
+		if a != Ground {
+			ia = p.unkIdx[a]
+		}
+		if b != Ground {
+			ib = p.unkIdx[b]
+		}
+		if ia < 0 || ib < 0 {
+			return
+		}
+		if d := ia - ib; d > p.bw {
+			p.bw = d
+		} else if -d > p.bw {
+			p.bw = -d
+		}
+	}
+	for _, r := range c.resistors {
+		upd(r.a, r.b)
+	}
+	for _, cp := range c.capacitors {
+		upd(cp.a, cp.b)
+	}
+	for _, m := range c.mosfets {
+		upd(m.d, m.g)
+		upd(m.d, m.s)
+		upd(m.g, m.s)
+	}
+	for bi, v := range c.vsources {
+		bcol := p.nFree + bi
+		for _, n := range []NodeID{v.pos, v.neg} {
+			if n == Ground {
+				continue
+			}
+			if i := p.unkIdx[n]; i >= 0 {
+				if d := bcol - i; d > p.bw {
+					p.bw = d
+				} else if -d > p.bw {
+					p.bw = -d
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// Matches reports whether the prototype's structure applies to the
+// circuit: same node/device counts and the same driven-node set. Any
+// mismatch makes the run ignore the prototype and compile from
+// scratch, so a false negative costs time, never correctness.
+func (p *StampProto) Matches(c *Circuit) bool {
+	if p == nil ||
+		len(c.nodeNames) != p.nNodes ||
+		len(c.resistors) != p.nRes ||
+		len(c.capacitors) != p.nCap ||
+		len(c.mosfets) != p.nMos ||
+		len(c.vsources) != p.nVsrc ||
+		len(c.driven) != len(p.drivenIDs) {
+		return false
+	}
+	for _, id := range p.drivenIDs {
+		if _, ok := c.driven[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate fully re-derives the prototype from the circuit and
+// compares every field — the exhaustive form of Matches, used by tests
+// to prove that a cached prototype reproduces the per-run compilation
+// bit for bit.
+func (p *StampProto) Validate(c *Circuit) error {
+	if !p.Matches(c) {
+		return fmt.Errorf("spice: prototype does not match circuit structure")
+	}
+	fresh, err := CompileProto(c)
+	if err != nil {
+		return err
+	}
+	if p.nFree != fresh.nFree || p.bw != fresh.bw {
+		return fmt.Errorf("spice: prototype nFree/bw (%d, %d) != fresh (%d, %d)",
+			p.nFree, p.bw, fresh.nFree, fresh.bw)
+	}
+	for i, v := range fresh.unkIdx {
+		if p.unkIdx[i] != v {
+			return fmt.Errorf("spice: prototype unkIdx[%d] = %d, fresh = %d", i, p.unkIdx[i], v)
+		}
+	}
+	for i, v := range fresh.drivenIDs {
+		if p.drivenIDs[i] != v {
+			return fmt.Errorf("spice: prototype drivenIDs[%d] = %d, fresh = %d", i, p.drivenIDs[i], v)
+		}
+	}
+	for i, v := range fresh.resRef {
+		if p.resRef[i] != v {
+			return fmt.Errorf("spice: prototype resRef[%d] = %+v, fresh = %+v", i, p.resRef[i], v)
+		}
+	}
+	for i, v := range fresh.capRef {
+		if p.capRef[i] != v {
+			return fmt.Errorf("spice: prototype capRef[%d] = %+v, fresh = %+v", i, p.capRef[i], v)
+		}
+	}
+	for i, v := range fresh.mosRef {
+		if p.mosRef[i] != v {
+			return fmt.Errorf("spice: prototype mosRef[%d] = %+v, fresh = %+v", i, p.mosRef[i], v)
+		}
+	}
+	return nil
+}

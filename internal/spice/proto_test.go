@@ -1,0 +1,110 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStampProtoParityRC runs the same adaptive transient with and
+// without a precompiled stamp prototype: the prototype only skips the
+// numbering/reference/bandwidth derivation, so every recorded sample —
+// and the step/iteration counts — must be bit-identical.
+func TestStampProtoParityRC(t *testing.T) {
+	tau := 0.1e-9
+	window := 2e-9
+
+	type capture struct {
+		res     Result
+		time, v []float64
+	}
+	run := func(proto bool) capture {
+		c, _, out := rcCircuit(t, tau)
+		opts := TranOptions{DT: window / 700, LTETol: 1e-3, Probes: []NodeID{out}}
+		if proto {
+			p, err := CompileProto(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(c); err != nil {
+				t.Fatal(err)
+			}
+			opts.Proto = p
+		}
+		tn, err := c.StartTransient(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tn.Close()
+		if err := tn.Advance(window); err != nil {
+			t.Fatal(err)
+		}
+		res := tn.Result()
+		tr, err := res.Trace(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Copy out of the pooled buffers before Close.
+		return capture{
+			res:  *res,
+			time: append([]float64(nil), res.Time...),
+			v:    append([]float64(nil), tr.V...),
+		}
+	}
+
+	plain := run(false)
+	proto := run(true)
+
+	if plain.res.Steps != proto.res.Steps || plain.res.NewtonIterations != proto.res.NewtonIterations ||
+		plain.res.Rejections != proto.res.Rejections || plain.res.Banded != proto.res.Banded {
+		t.Fatalf("work differs: plain steps=%d newton=%d rej=%d banded=%v, proto steps=%d newton=%d rej=%d banded=%v",
+			plain.res.Steps, plain.res.NewtonIterations, plain.res.Rejections, plain.res.Banded,
+			proto.res.Steps, proto.res.NewtonIterations, proto.res.Rejections, proto.res.Banded)
+	}
+	if len(plain.time) != len(proto.time) || len(plain.v) != len(proto.v) {
+		t.Fatalf("trace lengths differ: %d/%d vs %d/%d", len(plain.time), len(plain.v), len(proto.time), len(proto.v))
+	}
+	for i := range plain.time {
+		if math.Float64bits(plain.time[i]) != math.Float64bits(proto.time[i]) {
+			t.Fatalf("time[%d] differs: %.17g vs %.17g", i, plain.time[i], proto.time[i])
+		}
+		if math.Float64bits(plain.v[i]) != math.Float64bits(proto.v[i]) {
+			t.Fatalf("v[%d] differs: %.17g vs %.17g", i, plain.v[i], proto.v[i])
+		}
+	}
+}
+
+// TestStampProtoMismatchFallsBack verifies that a prototype compiled
+// for one topology is rejected (never misapplied) on another, and that
+// newRunWS silently compiles from scratch in that case.
+func TestStampProtoMismatchFallsBack(t *testing.T) {
+	c1, _, _ := rcCircuit(t, 0.1e-9)
+	p, err := CompileProto(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same builder, extra element: counts differ, Matches must refuse.
+	c2, _, out2 := rcCircuit(t, 0.1e-9)
+	if err := c2.AddCapacitor("extra", out2, Ground, 1e-15); err != nil {
+		t.Fatal(err)
+	}
+	if p.Matches(c2) {
+		t.Fatal("prototype matched a circuit with a different capacitor count")
+	}
+	if err := p.Validate(c2); err == nil {
+		t.Fatal("Validate accepted a mismatched circuit")
+	}
+
+	// A run handed the wrong prototype must still work (fallback path).
+	tn, err := c2.StartTransient(TranOptions{DT: 2e-9 / 700, LTETol: 1e-3, Probes: []NodeID{out2}, Proto: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn.Close()
+	if err := tn.Advance(2e-9); err != nil {
+		t.Fatal(err)
+	}
+	if tn.tr.proto != nil {
+		t.Fatal("run adopted a mismatched prototype")
+	}
+}

@@ -112,6 +112,13 @@ type TranOptions struct {
 	SettleTol float64
 	// MinSettleTime blocks the early-stop latch before this time.
 	MinSettleTime float64
+
+	// Proto, when non-nil and structurally matching the circuit, lets
+	// StartTransient reuse a precompiled unknown numbering, stamp
+	// references and bandwidth instead of re-deriving them (see
+	// CompileProto). Purely an optimization: a non-matching prototype is
+	// ignored, and the fixed-grid Transient never consults it.
+	Proto *StampProto
 }
 
 // Result holds the recorded traces of a transient run.
@@ -158,6 +165,10 @@ type tranRun struct {
 	unkIdx  []int // per node: unknown index, or -1 (ground / driven)
 	nFree   int
 	nBranch int
+	// proto is set when the run's numbering and stamps were copied from
+	// a matching StampProto (adaptive kernel only); its bandwidth then
+	// substitutes for the per-run scan.
+	proto *StampProto
 
 	// drivenSrc flattens ckt.driven into a per-node slice (nil = free
 	// node) so the Eval/nodeV hot paths never touch the map. drivenNow
