@@ -2,7 +2,7 @@ GO ?= go
 
 # Output file of the bench-json target; override per PR or in CI, e.g.
 #   make bench-json BENCH_OUT=BENCH_ci.json
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr6.json
 
 # Worker goroutines for the bench-json run (the wavefront scheduler's
 # headline numbers are parallel; set 0 for the sequential reference).
@@ -15,7 +15,7 @@ BENCH_WORKERS ?= 8
 BENCH_BASELINE ?= ci/bench_baseline.json
 BENCH_TOL ?= 0.5
 
-.PHONY: all check ci fmt-check vet staticcheck build test race bench bench-json bench-gate clean
+.PHONY: all check ci fmt-check vet staticcheck build test race metrics-lint bench bench-json bench-gate clean
 
 all: check
 
@@ -24,7 +24,7 @@ all: check
 check: vet build test race
 
 # Everything CI runs, reproducible locally with one command.
-ci: fmt-check vet staticcheck build test race bench-gate
+ci: fmt-check vet staticcheck build test race metrics-lint bench-gate
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -57,6 +57,14 @@ race:
 	$(GO) test -race ./internal/core/ ./internal/delaycalc/ ./internal/obs/ ./internal/incremental/
 	$(GO) test -race -run 'SchedulerParity|Dataflow' -count=1 ./internal/core/
 	$(GO) test -race -run 'Concurrent|Parallel' -count=1 .
+
+# Metric-vocabulary gate: the two-direction drift test (every name the
+# runtime registers is declared in obs.AllMetrics and vice versa — see
+# DESIGN.md §12 for the label-cardinality rules) plus vet, so a metric
+# renamed or invented outside names.go fails here, not in a dashboard.
+metrics-lint:
+	$(GO) test -run 'TestMetricNameDrift|TestRegisterAllCoversVocabulary' -count=1 . ./internal/obs/
+	$(GO) vet ./...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

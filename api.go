@@ -30,6 +30,7 @@ package xtalksta
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -104,6 +105,30 @@ type MetricsRegistry = obs.Registry
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// EventLog is a structured JSONL event sink: hand it to
+// AnalysisOptions.Events and every analysis, refinement pass and ECO
+// batch appends one self-describing record (revision, mode, seed
+// statistics, converged-skip counts) to the underlying writer.
+type EventLog = obs.EventLog
+
+// NewEventLog returns an event log appending JSONL records to w.
+func NewEventLog(w io.Writer) *EventLog { return obs.NewEventLog(w) }
+
+// Attribution is the per-arc breakdown of the top-K endpoint paths
+// (AnalysisOptions.Attribution); see core.Attribution for the
+// exactness contract.
+type Attribution = core.Attribution
+
+// AttributedPath is one endpoint path of an Attribution.
+type AttributedPath = core.AttributedPath
+
+// AttributionStep is one hop of an AttributedPath.
+type AttributionStep = core.AttributionStep
+
+// AttributionAggressor is one surviving aggressor of an
+// AttributionStep.
+type AttributionAggressor = core.AttributionAggressor
 
 // Tracer records timed spans; pair it with a TraceSink such as
 // ChromeTrace to export a chrome://tracing-compatible profile.
@@ -433,6 +458,53 @@ func (d *Design) SnapshotStats() (builds, reuses int64) {
 	return d.snapBuilds.Load(), d.snapReuses.Load()
 }
 
+// SessionInfo is a point-in-time view of the design's analysis-session
+// and snapshot bookkeeping, for the introspection plane's
+// /debug/obs/sessions endpoint (and any other live dashboard).
+type SessionInfo struct {
+	// Revision is the current design revision (number of applied edit
+	// batches).
+	Revision uint64 `json:"revision"`
+	// ActiveSessions is the number of analyses running right now;
+	// PeakSessions is the high-water mark since construction.
+	ActiveSessions int64 `json:"active_sessions"`
+	PeakSessions   int64 `json:"peak_sessions"`
+	// SnapshotBuilds / SnapshotReuses mirror SnapshotStats.
+	SnapshotBuilds int64 `json:"snapshot_builds"`
+	SnapshotReuses int64 `json:"snapshot_reuses"`
+	// CompiledKeys lists the compile keys of the snapshots currently
+	// cached (typical corner first, then per-corner), each tagged with
+	// the revision it was compiled at.
+	CompiledKeys []string `json:"compiled_keys,omitempty"`
+}
+
+// Sessions returns the live session/snapshot bookkeeping. Safe to call
+// concurrently with analyses and edits; the counters are atomics and
+// the snapshot keys are read under the design lock.
+func (d *Design) Sessions() SessionInfo {
+	info := SessionInfo{
+		ActiveSessions: d.sessions.Load(),
+		PeakSessions:   d.sessionsPeak.Load(),
+		SnapshotBuilds: d.snapBuilds.Load(),
+		SnapshotReuses: d.snapReuses.Load(),
+	}
+	d.mu.RLock()
+	info.Revision = d.rev
+	var cornerKeys []string
+	for corner, cs := range d.corners {
+		if cs.snap != nil {
+			cornerKeys = append(cornerKeys, string(corner)+": "+cs.snap.KeyString())
+		}
+	}
+	if d.snap != nil {
+		info.CompiledKeys = append(info.CompiledKeys, "typical: "+d.snap.KeyString())
+	}
+	d.mu.RUnlock()
+	sort.Strings(cornerKeys)
+	info.CompiledKeys = append(info.CompiledKeys, cornerKeys...)
+	return info
+}
+
 // Analyze runs one analysis mode.
 func (d *Design) Analyze(opts AnalysisOptions) (*AnalysisResult, error) {
 	cd, rev, err := d.compiled(&opts)
@@ -665,6 +737,8 @@ func (d *Design) analyzeCorner(corner Corner, opts AnalysisOptions) (*AnalysisRe
 	if err != nil {
 		return nil, err
 	}
+	// Label the session's telemetry with the corner it runs at.
+	opts.Corner = string(corner)
 	cd, _, err := d.compiledWith(cs.calc, &cs.snap, &opts)
 	if err != nil {
 		return nil, err

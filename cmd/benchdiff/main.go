@@ -7,10 +7,18 @@
 // Usage:
 //
 //	benchdiff -base ci/bench_baseline.json -new BENCH.json -tol 0.5
+//	benchdiff -metrics -base base_metrics.json -new new_metrics.json
 //
 // Runtime and arc-evaluation counts are reported but never gated: they
 // vary with hardware and scheduling. Delays are pure functions of the
 // design and must not move.
+//
+// With -metrics the inputs are metrics-registry dumps (`xtalksta
+// -metrics`, Registry.WriteJSON) instead: the report lists every
+// counter, gauge and histogram sample-count whose value moved between
+// the two dumps — a work-drift view (arc evaluations, cache hits,
+// converged skips) that complements the delay gate. Informational
+// only: it never fails the build.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 )
 
 type benchEnv struct {
@@ -68,14 +77,124 @@ func load(path string) (*benchFile, error) {
 	return &f, nil
 }
 
+// metricsDump mirrors obs.Dump (the Registry.WriteJSON shape) closely
+// enough to diff; labeled series arrive pre-flattened as
+// `name{key="value",...}` map keys.
+type metricsDump struct {
+	Counters   map[string]int64   `json:"counters"`
+	Gauges     map[string]float64 `json:"gauges"`
+	Histograms map[string]struct {
+		Count int64   `json:"count"`
+		Sum   float64 `json:"sum"`
+	} `json:"histograms"`
+}
+
+func loadMetrics(path string) (*metricsDump, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d metricsDump
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// diffMetrics prints every metric whose value moved between the dumps
+// (plus appeared/disappeared series). Never fails: work counters vary
+// legitimately with caches, scheduling and feature flags — the report
+// is for explaining drift, not gating it.
+func diffMetrics(basePath, newPath string) error {
+	base, err := loadMetrics(basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := loadMetrics(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metrics diff: %s -> %s\n", basePath, newPath)
+	changed := 0
+	changed += diffSection("counter", int64Rows(base.Counters), int64Rows(cand.Counters))
+	changed += diffSection("gauge", floatRows(base.Gauges), floatRows(cand.Gauges))
+	bh := make(map[string]float64, len(base.Histograms))
+	for k, v := range base.Histograms {
+		bh[k+" (samples)"] = float64(v.Count)
+	}
+	nh := make(map[string]float64, len(cand.Histograms))
+	for k, v := range cand.Histograms {
+		nh[k+" (samples)"] = float64(v.Count)
+	}
+	changed += diffSection("histogram", bh, nh)
+	if changed == 0 {
+		fmt.Println("ok: no metric moved")
+	} else {
+		fmt.Printf("%d metrics moved (informational; not gated)\n", changed)
+	}
+	return nil
+}
+
+func int64Rows(m map[string]int64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = float64(v)
+	}
+	return out
+}
+
+func floatRows(m map[string]float64) map[string]float64 { return m }
+
+// diffSection prints one kind's moved/new/gone rows in sorted order and
+// returns how many rows it printed.
+func diffSection(kind string, base, cand map[string]float64) int {
+	names := make(map[string]bool, len(base)+len(cand))
+	for k := range base {
+		names[k] = true
+	}
+	for k := range cand {
+		names[k] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for k := range names {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	n := 0
+	for _, name := range sorted {
+		bv, inBase := base[name]
+		nv, inCand := cand[name]
+		switch {
+		case !inBase:
+			fmt.Printf("  %-9s %-60s %14s -> %14g  NEW\n", kind, name, "-", nv)
+		case !inCand:
+			fmt.Printf("  %-9s %-60s %14g -> %14s  GONE\n", kind, name, bv, "-")
+		case bv != nv:
+			fmt.Printf("  %-9s %-60s %14g -> %14g  (%+g)\n", kind, name, bv, nv, nv-bv)
+		default:
+			continue
+		}
+		n++
+	}
+	return n
+}
+
 func main() {
 	basePath := flag.String("base", "", "baseline bench JSON")
 	newPath := flag.String("new", "", "candidate bench JSON")
 	tol := flag.Float64("tol", 0.5, "allowed per-mode delay drift in percent")
+	metricsMode := flag.Bool("metrics", false, "diff two metrics-registry dumps (xtalksta -metrics) instead of bench results; informational, never fails")
 	flag.Parse()
 	if *basePath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -base and -new are required")
 		os.Exit(2)
+	}
+	if *metricsMode {
+		if err := diffMetrics(*basePath, *newPath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		return
 	}
 	base, err := load(*basePath)
 	if err != nil {

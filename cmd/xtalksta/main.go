@@ -36,6 +36,9 @@ import (
 	"xtalksta/internal/circuitgen"
 	"xtalksta/internal/incremental"
 	"xtalksta/internal/netlist"
+	"xtalksta/internal/obs"
+	"xtalksta/internal/obs/httpserve"
+	"xtalksta/internal/report"
 	"xtalksta/internal/vcd"
 )
 
@@ -101,8 +104,13 @@ func run() error {
 		tracePath   = flag.String("trace", "", "write a Chrome trace_event profile to this file")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
-		verbose     = flag.Bool("v", false, "print per-pass progress to stderr")
+		verbose     = flag.Bool("v", false, "print per-pass progress and a latency-percentile summary to stderr")
 		jsonPath    = flag.String("json", "", "write the all-modes result summary as JSON to this file (table mode only)")
+
+		serveObs  = flag.String("serve-obs", "", "serve the live introspection plane (/metrics, /debug/pprof/*, /debug/obs/*) on this address, e.g. :9090 or 127.0.0.1:0")
+		eventsOut = flag.String("events", "", "append structured JSONL analysis/pass/ECO events to this file")
+		attrFlag  = flag.Bool("attribution", false, "single-mode: print the per-arc timing attribution of the top -topk paths")
+		attrJSON  = flag.String("attribution-json", "", "single-mode: write the timing attribution as JSON to this file")
 	)
 	flag.Parse()
 
@@ -120,9 +128,11 @@ func run() error {
 
 	// Telemetry plumbing: one registry and one trace buffer shared by
 	// layout, engine and golden simulation; flushed to disk on the way
-	// out whatever happened in between.
+	// out whatever happened in between. The registry also backs the
+	// -serve-obs endpoints, the -v latency summary and the -json
+	// percentile block, so any of those implies one.
 	var reg *xtalksta.MetricsRegistry
-	if *metricsPath != "" {
+	if *metricsPath != "" || *serveObs != "" || *verbose || *jsonPath != "" {
 		reg = xtalksta.NewMetricsRegistry()
 	}
 	var chrome *xtalksta.ChromeTrace
@@ -132,7 +142,10 @@ func run() error {
 		tracer = xtalksta.NewTracer(chrome)
 	}
 	defer func() {
-		if reg != nil {
+		if *verbose && reg != nil {
+			printLatencySummary(os.Stderr, reg)
+		}
+		if reg != nil && *metricsPath != "" {
 			if err := writeFileWith(*metricsPath, reg.WriteJSON); err != nil {
 				fmt.Fprintln(os.Stderr, "xtalksta: writing metrics:", err)
 			}
@@ -160,12 +173,45 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	// Structured event log (-events): one JSONL record per analysis,
+	// refinement pass and ECO batch.
+	var events *xtalksta.EventLog
+	if *eventsOut != "" {
+		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events = xtalksta.NewEventLog(f)
+		events.AttachCounter(reg.Counter(obs.MEventsEmitted))
+	}
+
+	// Live introspection plane (-serve-obs): starts before the design
+	// build so layout/characterization metrics are already scrapeable.
+	var obsSrv *httpserve.Server
+	if *serveObs != "" {
+		obsSrv = httpserve.New(reg)
+		if err := obsSrv.Start(*serveObs); err != nil {
+			return err
+		}
+		defer obsSrv.Close()
+		fmt.Fprintf(os.Stderr, "introspection plane listening on http://%s\n", obsSrv.Addr())
+	}
+
+	if (*attrFlag || *attrJSON != "") && *mode == "" {
+		return fmt.Errorf("-attribution/-attribution-json require -mode (attribution is per-analysis)")
+	}
+
 	aopts := xtalksta.AnalysisOptions{
-		Esperance: *esperance,
-		Workers:   *workers,
-		Scheduler: scheduler,
-		Metrics:   reg,
-		Trace:     tracer,
+		Esperance:       *esperance,
+		Workers:         *workers,
+		Scheduler:       scheduler,
+		Metrics:         reg,
+		Trace:           tracer,
+		Events:          events,
+		Attribution:     *attrFlag || *attrJSON != "" || (obsSrv != nil && *mode != ""),
+		AttributionTopK: *topk,
 	}
 	if *verbose {
 		aopts.Observer = &progressObserver{start: time.Now()}
@@ -185,6 +231,9 @@ func run() error {
 	st, err := d.Stats()
 	if err != nil {
 		return err
+	}
+	if obsSrv != nil {
+		obsSrv.SetSessions(func() any { return d.Sessions() })
 	}
 	fmt.Printf("circuit: %s — %d cells (%d DFFs), %d nets, depth %d\n\n",
 		title, st.Cells, st.DFFs, st.Nets, st.LogicDepth)
@@ -257,6 +306,27 @@ func run() error {
 			}
 			fmt.Printf("  %8.3f ns  %-5s %-20s via %s\n", step.Arrival*1e9, step.Dir, step.Net, cell)
 		}
+		if res.Attribution != nil {
+			ra := report.BuildAttribution(res.Attribution)
+			if *attrFlag {
+				fmt.Println()
+				if err := ra.Render(os.Stdout); err != nil {
+					return err
+				}
+			}
+			if *attrJSON != "" {
+				if err := writeFileWith(*attrJSON, ra.WriteJSON); err != nil {
+					return err
+				}
+			}
+			if obsSrv != nil {
+				var buf strings.Builder
+				if err := ra.Render(&buf); err != nil {
+					return err
+				}
+				obsSrv.SetCritpath(buf.String(), ra)
+			}
+		}
 		if *golden {
 			g, err := d.GoldenPath(res.Path, xtalksta.GoldenConfig{Metrics: reg, Trace: tracer})
 			if err != nil {
@@ -301,7 +371,7 @@ func run() error {
 			sweep.SerialMs, sweep.ParallelMs, sweep.Ratio)
 	}
 	if *jsonPath != "" {
-		if err := writeTableJSON(*jsonPath, title, st, table, *workers, scheduler, sweep); err != nil {
+		if err := writeTableJSON(*jsonPath, title, st, table, *workers, scheduler, sweep, reg); err != nil {
 			return err
 		}
 	}
@@ -479,8 +549,72 @@ func runSweepBench(d *xtalksta.Design, aopts xtalksta.AnalysisOptions) (*sweepBe
 	}, nil
 }
 
+// histQuantiles returns the requested quantiles of one histogram
+// family, merged across its labeled series; ok is false when the
+// family is absent or empty (then no percentile block is emitted).
+func histQuantiles(reg *xtalksta.MetricsRegistry, name string, qs ...float64) ([]float64, bool) {
+	if reg == nil {
+		return nil, false
+	}
+	for _, fam := range reg.Gather() {
+		if fam.Name != name || fam.Kind != "histogram" {
+			continue
+		}
+		d := fam.Merged()
+		if d.Count == 0 {
+			return nil, false
+		}
+		out := make([]float64, len(qs))
+		for i, q := range qs {
+			out[i] = d.Quantile(q)
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// printLatencySummary prints the session's latency percentiles (-v):
+// whole-analysis wall time and per-arc-evaluation time.
+func printLatencySummary(w io.Writer, reg *xtalksta.MetricsRegistry) {
+	if qs, ok := histQuantiles(reg, obs.MAnalysisDuration, 0.50, 0.90, 0.99); ok {
+		fmt.Fprintf(w, "latency: analysis p50 %.1f ms, p90 %.1f ms, p99 %.1f ms\n",
+			qs[0]*1e3, qs[1]*1e3, qs[2]*1e3)
+	}
+	if qs, ok := histQuantiles(reg, obs.MArcEvalDuration, 0.50, 0.99); ok {
+		fmt.Fprintf(w, "latency: arc eval p50 %.1f µs, p99 %.1f µs\n",
+			qs[0]*1e6, qs[1]*1e6)
+	}
+}
+
+// latencyBlock is the percentile section of the -json summary, read
+// from the shared metrics registry (bucket-interpolated quantiles).
+type latencyBlock struct {
+	AnalysisP50Ms float64 `json:"analysis_p50_ms"`
+	AnalysisP90Ms float64 `json:"analysis_p90_ms"`
+	AnalysisP99Ms float64 `json:"analysis_p99_ms"`
+	ArcEvalP50Us  float64 `json:"arc_eval_p50_us"`
+	ArcEvalP99Us  float64 `json:"arc_eval_p99_us"`
+}
+
+func buildLatencyBlock(reg *xtalksta.MetricsRegistry) *latencyBlock {
+	aq, ok := histQuantiles(reg, obs.MAnalysisDuration, 0.50, 0.90, 0.99)
+	if !ok {
+		return nil
+	}
+	lb := &latencyBlock{
+		AnalysisP50Ms: aq[0] * 1e3,
+		AnalysisP90Ms: aq[1] * 1e3,
+		AnalysisP99Ms: aq[2] * 1e3,
+	}
+	if eq, ok := histQuantiles(reg, obs.MArcEvalDuration, 0.50, 0.99); ok {
+		lb.ArcEvalP50Us = eq[0] * 1e6
+		lb.ArcEvalP99Us = eq[1] * 1e6
+	}
+	return lb
+}
+
 // writeTableJSON emits the machine-readable all-modes summary (-json).
-func writeTableJSON(path, title string, st netlist.Stats, table *xtalksta.Table, workers int, sched xtalksta.Scheduler, sweep *sweepBenchResult) error {
+func writeTableJSON(path, title string, st netlist.Stats, table *xtalksta.Table, workers int, sched xtalksta.Scheduler, sweep *sweepBenchResult, reg *xtalksta.MetricsRegistry) error {
 	type row struct {
 		Method      string  `json:"method"`
 		DelayNs     float64 `json:"delay_ns"`
@@ -498,8 +632,10 @@ func writeTableJSON(path, title string, st netlist.Stats, table *xtalksta.Table,
 		Rows     []row             `json:"rows"`
 		GoldenNs float64           `json:"golden_ns,omitempty"`
 		Sweep    *sweepBenchResult `json:"sweep,omitempty"`
+		Latency  *latencyBlock     `json:"latency,omitempty"`
 	}{Circuit: title, Cells: st.Cells, DFFs: st.DFFs, Nets: st.Nets,
 		Depth: st.LogicDepth, GoldenNs: table.GoldenNs, Sweep: sweep,
+		Latency: buildLatencyBlock(reg),
 		Env: benchEnv{
 			GoVersion:   runtime.Version(),
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"xtalksta/internal/ccc"
 	"xtalksta/internal/delaycalc"
@@ -119,6 +120,14 @@ func (cd *Compiled) Matches(opts Options) bool {
 
 // Revision returns the design revision the snapshot was compiled at.
 func (cd *Compiled) Revision() uint64 { return cd.rev }
+
+// KeyString renders the compile key (plus the revision stamp) as a
+// stable human-readable identifier, for the introspection plane's
+// per-revision session listing. Not a hash: purely descriptive.
+func (cd *Compiled) KeyString() string {
+	return fmt.Sprintf("rev=%d pocap=%g pimodel=%t sizes=%d",
+		cd.rev, cd.poCap, cd.piModel, len(cd.cellSizes))
+}
 
 // SetRevision stamps the design revision (API layer bookkeeping; call
 // before the snapshot is shared, never after).
@@ -241,6 +250,7 @@ func NewSession(cd *Compiled, calc delaycalc.Evaluator, opts Options) (*Engine, 
 		opts:     opts,
 		m:        newEngineMetrics(opts.Metrics),
 		trace:    opts.Trace,
+		created:  time.Now(),
 	}
 	workers := opts.Workers
 	if workers < 1 {

@@ -138,6 +138,24 @@ type Options struct {
 	// an incremental re-run — optimizer inner loops, corner sweeps —
 	// should disable it to avoid the per-pass state copies.
 	DisableReplay bool
+	// Corner labels the process corner the session analyzes under
+	// ("TT" when empty). Purely observational: it tags the labeled
+	// latency metrics and event-log records; the electrical corner is
+	// fixed by the calculator.
+	Corner string
+	// Attribution builds Result.Attribution: the top-K endpoint paths
+	// with per-arc gate/wire/coupling-slowdown contributions and the
+	// surviving aggressor sets. Off by default — the build re-evaluates
+	// the reported paths' arcs (cache-warm, but not free) after the
+	// analysis proper; with it off the run is bit-identical to one
+	// without the field.
+	Attribution bool
+	// AttributionTopK bounds the number of attributed endpoint paths
+	// (default 10).
+	AttributionTopK int
+	// Events, when set, receives one structured JSONL record per
+	// analysis, refinement pass and ECO batch (see obs.EventLog).
+	Events *obs.EventLog
 	// Metrics, when set, receives engine-wide counters (arc
 	// evaluations, Newton iterations, coupling decisions, esperance
 	// skips, per-level worker utilization, ...) under the obs.M* names.
@@ -167,6 +185,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.POCap == 0 {
 		o.POCap = 30e-15
+	}
+	if o.Corner == "" {
+		o.Corner = "TT"
+	}
+	if o.AttributionTopK == 0 {
+		o.AttributionTopK = 10
 	}
 	return o
 }
@@ -254,6 +278,9 @@ type Result struct {
 	Replay *ReplayState
 	// ECO is the work breakdown of a seeded run (nil for full runs).
 	ECO *ECOStats
+	// Attribution is the per-arc breakdown of the top-K endpoint paths
+	// (nil unless Options.Attribution is set).
+	Attribution *Attribution
 }
 
 // Engine is one analysis session over a compiled snapshot: the
@@ -294,6 +321,16 @@ type Engine struct {
 	// min-pass outputs, reset per analysis, harvested by takeReplay.
 	replayPasses             [][]netState
 	replayEarly, replaySlews [][2]float64
+	// Final-pass evalArc context, captured by runPasses(Seeded) for the
+	// attribution rebuild: the quiescent-time snapshot the last executed
+	// sweep classified against (nil for first/single passes) and that
+	// sweep's mode (OneStep for the Iterative seed pass).
+	finalQuietPrev [][2]float64
+	finalPassMode  Mode
+	// created/queueWaitDone time the session's queue wait: the gap
+	// between NewSession and the first analysis start, observed once.
+	created       time.Time
+	queueWaitDone bool
 }
 
 type endpointRef struct {
@@ -342,8 +379,51 @@ func (e *Engine) Run() (*Result, error) {
 	res.Replay = e.takeReplay()
 
 	res.Runtime = time.Since(start)
+	// Snapshot the work counters before any attribution rebuild: the
+	// rebuild re-evaluates reported arcs through the same calculator
+	// scope, and those cache-warm replays must not count as analysis
+	// work.
 	res.ArcEvaluations, res.Simulations = e.Calc.Stats()
+	if e.opts.Attribution {
+		attr, err := e.buildAttribution(st)
+		if err != nil {
+			return nil, err
+		}
+		res.Attribution = attr
+	}
+	e.emitAnalysisEvent("analysis", res, nil)
 	return res, nil
+}
+
+// emitAnalysisEvent writes one structured event-log record for a
+// completed analysis (or seeded re-analysis; extra carries the ECO seed
+// stats then). No-op without Options.Events.
+func (e *Engine) emitAnalysisEvent(name string, res *Result, extra map[string]any) {
+	if e.opts.Events == nil {
+		return
+	}
+	var converged, recalc int64
+	for _, ps := range res.PassStats {
+		converged += ps.ConvergedSkips
+		recalc += ps.RecalculatedWires
+	}
+	fields := map[string]any{
+		"mode":            e.opts.Mode.String(),
+		"corner":          e.opts.Corner,
+		"scheduler":       e.opts.Scheduler.String(),
+		"revision":        e.rev,
+		"passes":          res.Passes,
+		"longest_ns":      res.LongestPath * 1e9,
+		"arc_evaluations": res.ArcEvaluations,
+		"simulations":     res.Simulations,
+		"recalc_wires":    recalc,
+		"converged_skips": converged,
+		"runtime_ms":      float64(res.Runtime) / 1e6,
+	}
+	for k, v := range extra {
+		fields[k] = v
+	}
+	e.opts.Events.Emit(name, fields)
 }
 
 // getState hands out a per-pass net-state slice, recycling slices

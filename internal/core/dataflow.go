@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xtalksta/internal/netlist"
 )
@@ -172,6 +173,10 @@ func (e *Compiled) buildPhaseGraph(levels [][]netlist.CellID) *dfGraph {
 // goroutine that evaluated the cell, before any dependent cell starts
 // (the seeded sweep grows its dirty set there; see eco.go).
 func (e *Engine) runPhase(phase string, do func(cell *netlist.Cell) error, done func(cid netlist.CellID)) error {
+	t0 := time.Now()
+	defer func() {
+		e.m.phaseDur.With(e.modeLabel(), phase).Observe(time.Since(t0).Seconds())
+	}()
 	if e.opts.Scheduler == SchedLevels {
 		levels := e.clockLevels
 		if phase == phaseMain {

@@ -211,6 +211,12 @@ func (e *Engine) RunSeeded(prev *ReplayState, seed []bool) (*Result, error) {
 	e.Calc.ResetStats()
 	res := &Result{Mode: e.opts.Mode}
 	eco := &ECOStats{}
+	var seedNets int64
+	for _, s := range seed {
+		if s {
+			seedNets++
+		}
+	}
 	seed = e.structuralCone(seed, eco)
 
 	var (
@@ -241,6 +247,21 @@ func (e *Engine) RunSeeded(prev *ReplayState, seed []bool) (*Result, error) {
 	}
 	res.Runtime = time.Since(start)
 	res.ArcEvaluations, res.Simulations = e.Calc.Stats()
+	if e.opts.Attribution {
+		attr, err := e.buildAttribution(st)
+		if err != nil {
+			return nil, err
+		}
+		res.Attribution = attr
+	}
+	e.emitAnalysisEvent("eco", res, map[string]any{
+		"base_revision":   prev.rev,
+		"seed_nets":       seedNets,
+		"dirty_lines":     eco.DirtyLines,
+		"reused_lines":    eco.ReusedLines,
+		"cone_expansions": eco.ConeExpansions,
+		"full_fallback":   eco.FullFallback,
+	})
 	return res, nil
 }
 
@@ -290,6 +311,8 @@ func (e *Engine) structuralCone(seed []bool, eco *ECOStats) []bool {
 
 // seededState mirrors finalState's telemetry scope for seeded runs.
 func (e *Engine) seededState(prev *ReplayState, seed []bool, eco *ECOStats) ([]netState, int, error) {
+	t0 := e.beginAnalysisTelemetry()
+	defer e.endAnalysisTelemetry(t0)
 	e.passStats = nil
 	e.replayPasses, e.replayEarly, e.replaySlews = nil, nil, nil
 	c0 := e.calcCounters()
@@ -353,6 +376,7 @@ func (e *Engine) runPassesSeeded(prev *ReplayState, seed []bool, eco *ECOStats) 
 	if mode == Iterative {
 		firstMode = OneStep
 	}
+	e.finalQuietPrev, e.finalPassMode = nil, firstMode
 	ec := e.newEcoPass(prev, 0, seed)
 	ph := e.beginPass(1, firstMode)
 	st, err := e.passSeeded(firstMode, nil, ec)
@@ -369,8 +393,10 @@ func (e *Engine) runPassesSeeded(prev *ReplayState, seed []bool, eco *ECOStats) 
 	for passes < e.opts.MaxPasses {
 		ec := e.newEcoPass(prev, passes, seed)
 		e.seedRefinementDirty(ec, prevChanged, earlyVictims)
+		qp := snapshotQuiet(st)
+		e.finalQuietPrev, e.finalPassMode = qp, Iterative
 		ph := e.beginPass(passes+1, Iterative)
-		st2, err := e.passSeeded(Iterative, snapshotQuiet(st), ec)
+		st2, err := e.passSeeded(Iterative, qp, ec)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"time"
 
 	"xtalksta/internal/delaycalc"
@@ -68,6 +69,16 @@ type engineMetrics struct {
 	schedSteals, convergedSkips, statePoolReuses           *obs.Counter
 	levelCells, schedReadyDepth                            *obs.Histogram
 	workers                                                *obs.Gauge
+
+	// Live introspection plane: labeled latency families (resolved to
+	// children per analysis — the label tuple is fixed per session) and
+	// run accounting.
+	analysisDur       *obs.HistogramVec
+	passDur           *obs.HistogramVec
+	phaseDur          *obs.HistogramVec
+	queueWait         *obs.HistogramVec
+	analyses          *obs.CounterVec
+	attributionBuilds *obs.Counter
 }
 
 func newEngineMetrics(r *obs.Registry) *engineMetrics {
@@ -98,7 +109,22 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		levelCells:           r.Histogram(obs.MLevelCells),
 		schedReadyDepth:      r.Histogram(obs.MSchedReadyDepth),
 		workers:              r.Gauge(obs.MWorkers),
+		analysisDur:          r.HistogramVec(obs.MAnalysisDuration, obs.DurationBounds, "mode", "corner", "scheduler", "revision"),
+		passDur:              r.HistogramVec(obs.MPassDuration, obs.DurationBounds, "mode", "pass"),
+		phaseDur:             r.HistogramVec(obs.MPhaseDuration, obs.DurationBounds, "mode", "phase"),
+		queueWait:            r.HistogramVec(obs.MQueueWait, obs.DurationBounds, "mode"),
+		analyses:             r.CounterVec(obs.MAnalyses, "mode", "corner", "scheduler"),
+		attributionBuilds:    r.Counter(obs.MAttributionBuilds),
 	}
+}
+
+// modeLabel / sessionLabels render the session's bounded label tuple
+// for the labeled latency families (see DESIGN.md §12).
+func (e *Engine) modeLabel() string { return e.opts.Mode.String() }
+
+func (e *Engine) sessionLabels() (mode, corner, scheduler, revision string) {
+	return e.modeLabel(), e.opts.Corner, e.opts.Scheduler.String(),
+		strconv.FormatUint(e.rev, 10)
 }
 
 // calcCounters snapshots the evaluator's work counters, preferring the
@@ -161,10 +187,26 @@ func (e *Engine) endPass(ph *passHandle, st []netState) float64 {
 		e.replayPasses = append(e.replayPasses, append([]netState(nil), st...))
 	}
 	e.m.passes.Inc()
+	e.m.passDur.With(e.modeLabel(), strconv.Itoa(ph.pass)).Observe(stat.Wall.Seconds())
 	ph.span.Arg("longest_ns", longest*1e9).
 		Arg("arcs", d.Requests).
 		Arg("recalc_wires", stat.RecalculatedWires).
 		End()
+	if e.opts.Events != nil {
+		e.opts.Events.Emit("pass", map[string]any{
+			"mode":            ph.mode.String(),
+			"session_mode":    e.modeLabel(),
+			"revision":        e.rev,
+			"pass":            ph.pass,
+			"longest_ns":      longest * 1e9,
+			"arc_evaluations": d.Requests,
+			"simulations":     d.Simulations,
+			"recalc_wires":    stat.RecalculatedWires,
+			"esperance_skips": stat.EsperanceSkips,
+			"converged_skips": stat.ConvergedSkips,
+			"wall_ms":         float64(stat.Wall) / 1e6,
+		})
+	}
 	if e.opts.Observer != nil {
 		e.opts.Observer.PassFinished(stat)
 	}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"xtalksta/internal/ccc"
 	"xtalksta/internal/netlist"
@@ -155,6 +156,7 @@ func (e *Engine) Report(period float64) (*TimingReport, error) {
 // the per-pass stats and the delay-calculator counter deltas pushed
 // into the metrics registry.
 func (e *Engine) finalState() ([]netState, int, error) {
+	t0 := e.beginAnalysisTelemetry()
 	e.passStats = nil
 	e.replayPasses, e.replayEarly, e.replaySlews = nil, nil, nil
 	c0 := e.calcCounters()
@@ -166,13 +168,37 @@ func (e *Engine) finalState() ([]netState, int, error) {
 	e.m.sims.Add(d.Simulations)
 	e.m.newtonIters.Add(d.NewtonIterations)
 	e.m.newtonFails.Add(d.NewtonFailures)
+	e.endAnalysisTelemetry(t0)
 	return st, passes, err
+}
+
+// beginAnalysisTelemetry opens the run-level latency scope: the first
+// analysis of a session also records its queue wait (the NewSession →
+// first-run gap, the daemon-workload admission metric).
+func (e *Engine) beginAnalysisTelemetry() time.Time {
+	t0 := time.Now()
+	if !e.queueWaitDone {
+		e.queueWaitDone = true
+		if !e.created.IsZero() {
+			e.m.queueWait.With(e.modeLabel()).Observe(t0.Sub(e.created).Seconds())
+		}
+	}
+	return t0
+}
+
+// endAnalysisTelemetry records the run's wall clock into the labeled
+// analysis-latency family and counts the run.
+func (e *Engine) endAnalysisTelemetry(t0 time.Time) {
+	mode, corner, sched, rev := e.sessionLabels()
+	e.m.analysisDur.With(mode, corner, sched, rev).Observe(time.Since(t0).Seconds())
+	e.m.analyses.With(mode, corner, sched).Inc()
 }
 
 // runPasses implements the per-mode pass control.
 func (e *Engine) runPasses() ([]netState, int, error) {
 	switch e.opts.Mode {
 	case BestCase, StaticDoubled, WorstCase, OneStep:
+		e.finalQuietPrev, e.finalPassMode = nil, e.opts.Mode
 		ph := e.beginPass(1, e.opts.Mode)
 		st, err := e.pass(e.opts.Mode, nil, nil, nil)
 		if err != nil {
@@ -195,6 +221,7 @@ func (e *Engine) runPasses() ([]netState, int, error) {
 		} else {
 			e.earliestStart = nil
 		}
+		e.finalQuietPrev, e.finalPassMode = nil, OneStep
 		ph := e.beginPass(1, OneStep)
 		st, err := e.pass(OneStep, nil, nil, nil)
 		if err != nil {
@@ -221,13 +248,15 @@ func (e *Engine) runPasses() ([]netState, int, error) {
 			} else if e.opts.Esperance {
 				critical = e.criticalNets(st, delay)
 			}
+			qp := snapshotQuiet(st)
+			e.finalQuietPrev, e.finalPassMode = qp, Iterative
 			ph := e.beginPass(passes+1, Iterative)
 			var st2 []netState
 			var err error
 			if ec != nil {
-				st2, err = e.passSeeded(Iterative, snapshotQuiet(st), ec)
+				st2, err = e.passSeeded(Iterative, qp, ec)
 			} else {
-				st2, err = e.pass(Iterative, snapshotQuiet(st), critical, st)
+				st2, err = e.pass(Iterative, qp, critical, st)
 			}
 			if err != nil {
 				return nil, 0, err

@@ -15,6 +15,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xtalksta/internal/ccc"
 	"xtalksta/internal/coupling"
@@ -203,11 +204,16 @@ type cacheShard struct {
 	inflight map[cacheKey]*flight
 }
 
-// calcMetrics holds the calculator's resolved obs instruments.
+// calcMetrics holds the calculator's resolved obs instruments. enabled
+// gates the per-evaluation latency clock: without a registry the hot
+// path must not pay two time.Now() calls per arc, and results are
+// bit-identical either way (the clock never feeds the analysis).
 type calcMetrics struct {
 	hits, misses, contention           *obs.Counter
 	steps, rejections, earlyStops, ext *obs.Counter
 	shards                             *obs.Gauge
+	evalDur                            *obs.Histogram
+	enabled                            bool
 }
 
 func newCalcMetrics(r *obs.Registry) calcMetrics {
@@ -220,6 +226,8 @@ func newCalcMetrics(r *obs.Registry) calcMetrics {
 		earlyStops: r.Counter(obs.MSimEarlyStops),
 		ext:        r.Counter(obs.MSimWindowExtensions),
 		shards:     r.Gauge(obs.MDelayCacheShards),
+		evalDur:    r.HistogramWith(obs.MArcEvalDuration, obs.DurationBounds),
+		enabled:    r != nil,
 	}
 }
 
@@ -423,6 +431,16 @@ func (c *Calculator) Eval(r Request) (Result, error) {
 // — the same accounting the shared counters use, so scoped sums match
 // the serial Stats deltas exactly.
 func (c *Calculator) EvalInfo(r Request) (Result, Info, error) {
+	if c.m.enabled {
+		t0 := time.Now()
+		res, info, err := c.evalInfo(r)
+		c.m.evalDur.Observe(time.Since(t0).Seconds())
+		return res, info, err
+	}
+	return c.evalInfo(r)
+}
+
+func (c *Calculator) evalInfo(r Request) (Result, Info, error) {
 	var info Info
 	if err := c.validate(r); err != nil {
 		return Result{}, info, err

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventLog writes one JSON object per line (JSONL) for each
+// coarse-grained engine event — an analysis, a refinement pass, an ECO
+// batch — so multi-run trajectories can be diffed and charted without
+// scraping stderr. Events carry a monotonic sequence number, a
+// wall-clock timestamp, the event name, and a flat field map supplied
+// by the caller (revision, mode, seed stats, converged-skip counts).
+//
+// Emit is safe for concurrent use and a nil *EventLog is a no-op, so
+// instrumented code needs no nil checks — the same contract as the
+// registry and tracer.
+type EventLog struct {
+	mu      sync.Mutex
+	w       io.Writer
+	seq     int64
+	now     func() time.Time
+	emitted *Counter
+}
+
+// NewEventLog builds an event log over w. A nil writer yields a no-op
+// log (Emit drops events), matching the nil-receiver contract.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{w: w, now: time.Now}
+}
+
+// NewEventLogWithClock builds an event log with an injectable clock,
+// for deterministic tests.
+func NewEventLogWithClock(w io.Writer, clock func() time.Time) *EventLog {
+	return &EventLog{w: w, now: clock}
+}
+
+// AttachCounter routes a per-emit increment to c (typically the
+// MEventsEmitted counter of the run's registry). Nil-safe on both
+// sides.
+func (l *EventLog) AttachCounter(c *Counter) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.emitted = c
+	l.mu.Unlock()
+}
+
+// event is the serialized record shape. Fields is inlined-by-convention
+// rather than flattened: a fixed envelope keeps records parseable even
+// as per-event fields evolve.
+type event struct {
+	Seq    int64          `json:"seq"`
+	TS     string         `json:"ts"`
+	Event  string         `json:"event"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Emit writes one event record. Field maps are marshaled by
+// encoding/json, which sorts keys — records are deterministic up to the
+// timestamp. Errors are swallowed: telemetry must never fail the
+// analysis it observes.
+func (l *EventLog) Emit(name string, fields map[string]any) {
+	if l == nil || l.w == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	rec := event{
+		Seq:    l.seq,
+		TS:     l.now().UTC().Format(time.RFC3339Nano),
+		Event:  name,
+		Fields: fields,
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	l.w.Write(buf)
+	if l.emitted != nil {
+		l.emitted.Inc()
+	}
+}
+
+// Seq returns the number of events emitted so far.
+func (l *EventLog) Seq() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}

@@ -1,0 +1,192 @@
+// Package httpserve is the embedded introspection HTTP server behind
+// the CLIs' -serve-obs flag: Prometheus metrics, Go pprof profiling,
+// and live JSON views of the registry, the design's session/snapshot
+// state, and the latest attribution report. It depends only on obs and
+// the standard library; design-level state is injected as closures so
+// the package never imports the engine.
+//
+// Endpoints:
+//
+//	/metrics               Prometheus text exposition of the registry
+//	/debug/pprof/*         net/http/pprof (profile, heap, trace, ...)
+//	/debug/obs/snapshot    registry snapshot as indented JSON
+//	/debug/obs/sessions    live session/snapshot stats (via SetSessions)
+//	/debug/obs/critpath    latest attribution report (via SetCritpath)
+package httpserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"time"
+
+	"xtalksta/internal/obs"
+)
+
+// Server serves the introspection endpoints for one registry.
+type Server struct {
+	reg      *obs.Registry
+	requests *obs.CounterVec
+
+	mu       sync.Mutex
+	sessions func() any
+	critText string
+	critJSON any
+
+	lis  net.Listener
+	http *http.Server
+}
+
+// New builds a server over reg (nil is allowed: endpoints serve empty
+// views). The full canonical metric vocabulary is pre-registered so the
+// first /metrics scrape already covers every names.go family.
+func New(reg *obs.Registry) *Server {
+	obs.RegisterAll(reg)
+	return &Server{
+		reg:      reg,
+		requests: reg.CounterVec(obs.MObsHTTPRequests, "route"),
+	}
+}
+
+// SetSessions installs the live-session view: fn is called per request
+// and its result serialized as JSON. Typically a closure over
+// Design.Sessions().
+func (s *Server) SetSessions(fn func() any) {
+	s.mu.Lock()
+	s.sessions = fn
+	s.mu.Unlock()
+}
+
+// SetCritpath installs the latest attribution report in both rendered
+// and structured form. Called after each analysis that built one.
+func (s *Server) SetCritpath(text string, jsonV any) {
+	s.mu.Lock()
+	s.critText = text
+	s.critJSON = jsonV
+	s.mu.Unlock()
+}
+
+// count increments the per-route request counter. Routes are the fixed
+// patterns below — a closed label set, never the raw request path.
+func (s *Server) count(route string) { s.requests.With(route).Inc() }
+
+// Handler returns the introspection mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		s.count("/metrics")
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/obs/snapshot", func(w http.ResponseWriter, req *http.Request) {
+		s.count("/debug/obs/snapshot")
+		w.Header().Set("Content-Type", "application/json")
+		s.reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/obs/sessions", func(w http.ResponseWriter, req *http.Request) {
+		s.count("/debug/obs/sessions")
+		s.mu.Lock()
+		fn := s.sessions
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		var v any
+		if fn != nil {
+			v = fn()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	})
+	mux.HandleFunc("/debug/obs/critpath", func(w http.ResponseWriter, req *http.Request) {
+		s.count("/debug/obs/critpath")
+		s.mu.Lock()
+		text, jsonV := s.critText, s.critJSON
+		s.mu.Unlock()
+		if strings.Contains(req.Header.Get("Accept"), "application/json") ||
+			req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(jsonV)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if text == "" {
+			fmt.Fprintln(w, "no attribution report yet (run with attribution enabled)")
+			return
+		}
+		fmt.Fprint(w, text)
+	})
+	// Explicit pprof routes rather than the net/http/pprof init-time
+	// registrations: those land on http.DefaultServeMux, which this
+	// server deliberately does not use.
+	mux.HandleFunc("/debug/pprof/", func(w http.ResponseWriter, req *http.Request) {
+		s.count("/debug/pprof/")
+		pprof.Index(w, req)
+	})
+	mux.HandleFunc("/debug/pprof/cmdline", func(w http.ResponseWriter, req *http.Request) {
+		s.count("/debug/pprof/cmdline")
+		pprof.Cmdline(w, req)
+	})
+	mux.HandleFunc("/debug/pprof/profile", func(w http.ResponseWriter, req *http.Request) {
+		s.count("/debug/pprof/profile")
+		pprof.Profile(w, req)
+	})
+	mux.HandleFunc("/debug/pprof/symbol", func(w http.ResponseWriter, req *http.Request) {
+		s.count("/debug/pprof/symbol")
+		pprof.Symbol(w, req)
+	})
+	mux.HandleFunc("/debug/pprof/trace", func(w http.ResponseWriter, req *http.Request) {
+		s.count("/debug/pprof/trace")
+		pprof.Trace(w, req)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		s.count("/")
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "xtalksta introspection plane")
+		fmt.Fprintln(w, "  /metrics")
+		fmt.Fprintln(w, "  /debug/pprof/")
+		fmt.Fprintln(w, "  /debug/obs/snapshot")
+		fmt.Fprintln(w, "  /debug/obs/sessions")
+		fmt.Fprintln(w, "  /debug/obs/critpath")
+	})
+	return mux
+}
+
+// Start listens on addr (host:port; port 0 picks a free port) and
+// serves in a background goroutine. Use Addr for the bound address and
+// Close to shut down.
+func (s *Server) Start(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.lis = lis
+	s.http = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go s.http.Serve(lis)
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Close()
+}

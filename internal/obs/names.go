@@ -86,4 +86,120 @@ const (
 	// Golden path validation.
 	MGoldenSims       = "golden_simulations_total"
 	MGoldenAggressors = "golden_aggressors_total"
+
+	// Live introspection plane: latency distributions and run
+	// accounting. Duration histograms record seconds on the
+	// DurationBounds grid. The labeled families use only bounded label
+	// sets (see DESIGN.md §12): mode and scheduler are closed enums,
+	// corner is the three-letter process corner, pass is a small
+	// integer, phase is clock|main, revision is the design's edit
+	// revision (bounded by the ECO count of one process lifetime).
+	MAnalysisDuration = "analysis_duration_seconds"  // histogram{mode,corner,scheduler,revision}
+	MPassDuration     = "pass_duration_seconds"      // histogram{mode,pass}
+	MPhaseDuration    = "phase_duration_seconds"     // histogram{mode,phase}
+	MQueueWait        = "session_queue_wait_seconds" // histogram{mode}
+	MArcEvalDuration  = "arc_eval_duration_seconds"  // histogram
+	MAnalyses         = "analyses_total"             // counter{mode,corner,scheduler}
+
+	// Structured event log and attribution reports.
+	MEventsEmitted     = "events_emitted_total"
+	MAttributionBuilds = "attribution_builds_total"
+
+	// Introspection HTTP server, labeled by route pattern (a closed
+	// set — never by raw request path).
+	MObsHTTPRequests = "obs_http_requests_total" // counter{route}
 )
+
+// MetricDef describes one canonical metric: its name, instrument kind,
+// and label keys (nil for unlabeled instruments). AllMetrics is the
+// single source of truth the name-drift test checks registries against,
+// and RegisterAll uses it to pre-register the full vocabulary so a
+// /metrics scrape covers every family even before it records a sample.
+type MetricDef struct {
+	Name   string
+	Kind   string // "counter", "gauge" or "histogram"
+	Labels []string
+}
+
+// AllMetrics returns the canonical metric vocabulary: every constant
+// above, in declaration order. A name registered at runtime that is not
+// in this list — or a listed name no registry ever touches — is
+// vocabulary drift.
+func AllMetrics() []MetricDef {
+	c := func(name string, labels ...string) MetricDef {
+		return MetricDef{Name: name, Kind: "counter", Labels: labels}
+	}
+	g := func(name string, labels ...string) MetricDef {
+		return MetricDef{Name: name, Kind: "gauge", Labels: labels}
+	}
+	h := func(name string, labels ...string) MetricDef {
+		return MetricDef{Name: name, Kind: "histogram", Labels: labels}
+	}
+	return []MetricDef{
+		c(MArcEvaluations), c(MSimulations), c(MNewtonIters), c(MNewtonFailures),
+		c(MDelayCacheHits), c(MDelayCacheMisses), c(MDelayCacheContention), g(MDelayCacheShards),
+		c(MSimSteps), c(MSimStepRejections), c(MSimEarlyStops), c(MSimWindowExtensions),
+		c(MCouplingActive), c(MCouplingGrounded), c(MCouplingWindowPruned),
+		c(MCouplingZeroSkips), c(MTBCSReuseHits),
+		c(MPasses), c(MRecalcWires), c(MEsperanceSkips),
+		c(MLevels), c(MParallelLevels), c(MWorkerCells), c(MSequentialCells),
+		g(MWorkers), h(MLevelCells), h(MSchedReadyDepth), c(MSchedSteals),
+		c(MPassConvergedSkips), c(MPassStateReuses),
+		c(MEcoEdits), c(MEcoDirtyLines), c(MEcoReusedLines),
+		c(MEcoConeExpansions), c(MEcoFullFallbacks),
+		c(MSnapshotBuilds), c(MSnapshotReuses), g(MConcurrentSessionsPeak),
+		c(MLayoutNetsRouted), c(MLayoutCouplingPairs), g(MLayoutWirelength),
+		c(MGoldenSims), c(MGoldenAggressors),
+		h(MAnalysisDuration, "mode", "corner", "scheduler", "revision"),
+		h(MPassDuration, "mode", "pass"),
+		h(MPhaseDuration, "mode", "phase"),
+		h(MQueueWait, "mode"),
+		h(MArcEvalDuration),
+		c(MAnalyses, "mode", "corner", "scheduler"),
+		c(MEventsEmitted), c(MAttributionBuilds),
+		c(MObsHTTPRequests, "route"),
+	}
+}
+
+// RegisterAll pre-registers the full canonical vocabulary on r, so
+// every family appears (at zero) in dumps and /metrics scrapes from the
+// first request. Duration histograms get the DurationBounds grid;
+// others the default grid. Safe to call on an already-populated
+// registry (existing instruments are kept) and a no-op on nil.
+func RegisterAll(r *Registry) {
+	if r == nil {
+		return
+	}
+	for _, def := range AllMetrics() {
+		switch def.Kind {
+		case "counter":
+			if len(def.Labels) > 0 {
+				r.CounterVec(def.Name, def.Labels...)
+			} else {
+				r.Counter(def.Name)
+			}
+		case "gauge":
+			if len(def.Labels) > 0 {
+				r.GaugeVec(def.Name, def.Labels...)
+			} else {
+				r.Gauge(def.Name)
+			}
+		case "histogram":
+			bounds := []float64(nil)
+			if durationMetric(def.Name) {
+				bounds = DurationBounds
+			}
+			if len(def.Labels) > 0 {
+				r.HistogramVec(def.Name, bounds, def.Labels...)
+			} else {
+				r.HistogramWith(def.Name, bounds)
+			}
+		}
+	}
+}
+
+// durationMetric reports whether a canonical metric records seconds.
+func durationMetric(name string) bool {
+	const suffix = "_seconds"
+	return len(name) > len(suffix) && name[len(name)-len(suffix):] == suffix
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` header per family, series sorted
+// by name and label tuple, histograms as cumulative `_bucket{le=...}`
+// series plus `_sum` and `_count`. Hand-rolled on purpose — the module
+// takes no dependencies — and a no-op on a nil registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.Gather() {
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Series {
+			if f.Kind != "histogram" {
+				fmt.Fprintf(&b, "%s%s %s\n",
+					f.Name, promLabels(f.Keys, s.Labels, "", ""), promFloat(s.Value))
+				continue
+			}
+			if s.Hist == nil {
+				continue
+			}
+			var cum int64
+			for i, n := range s.Hist.Counts {
+				cum += n
+				le := "+Inf"
+				if i < len(s.Hist.Bounds) {
+					le = promFloat(s.Hist.Bounds[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n",
+					f.Name, promLabels(f.Keys, s.Labels, "le", le), cum)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n",
+				f.Name, promLabels(f.Keys, s.Labels, "", ""), promFloat(s.Hist.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n",
+				f.Name, promLabels(f.Keys, s.Labels, "", ""), s.Hist.Count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promLabels renders a label set `{k="v",...}` (empty string when there
+// are no labels), with an optional extra pair appended (used for the
+// histogram `le` label).
+func promLabels(keys, values []string, extraKey, extraVal string) string {
+	if len(keys) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	for i, k := range keys {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, promEscape(v))
+		n++
+	}
+	if extraKey != "" {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraKey, promEscape(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promFloat formats a sample value in the shortest round-trip form.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

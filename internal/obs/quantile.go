@@ -1,0 +1,104 @@
+package obs
+
+import "math"
+
+// DurationBounds is the bucket grid for wall-clock duration histograms,
+// in seconds: a 1-2-5 progression from one microsecond to fifty
+// seconds. Quantiles interpolated on this grid resolve sub-microsecond
+// arc evaluations and multi-second full-chip analyses alike to within
+// roughly a bucket half-width.
+var DurationBounds = []float64{
+	1e-6, 2e-6, 5e-6,
+	1e-5, 2e-5, 5e-5,
+	1e-4, 2e-4, 5e-4,
+	1e-3, 2e-3, 5e-3,
+	1e-2, 2e-2, 5e-2,
+	1e-1, 2e-1, 5e-1,
+	1, 2, 5, 10, 20, 50,
+}
+
+// HistogramWith returns the histogram registered under name, creating
+// it with the given bucket bounds on first use (nil bounds = the
+// default 1-2-5 grid). An already-registered histogram keeps its
+// original bounds. On a nil registry it returns an unregistered
+// histogram.
+func (r *Registry) HistogramWith(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return NewHistogram(boundsOrDefault(bounds))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(boundsOrDefault(bounds))
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Dump returns the histogram's point-in-time JSON form.
+func (h *Histogram) Dump() HistogramDump {
+	bounds, counts := h.Buckets()
+	return HistogramDump{Bounds: bounds, Counts: counts, Count: h.Count(), Sum: h.Sum()}
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the recorded samples
+// by linear interpolation within the bucket that holds the target rank.
+// The estimate is exact at bucket edges and bounded by a bucket width
+// otherwise — fixed memory, no sample retention. Returns NaN for q
+// outside [0,1] or an empty histogram; a rank landing in the overflow
+// bucket returns the last finite bound (the estimate saturates).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	return h.Dump().Quantile(q)
+}
+
+// Quantile is Histogram.Quantile over a dumped snapshot, so quantiles
+// can be computed from persisted metrics files as well as live
+// instruments.
+func (d HistogramDump) Quantile(q float64) float64 {
+	if math.IsNaN(q) || q < 0 || q > 1 || d.Count <= 0 || len(d.Counts) != len(d.Bounds)+1 {
+		return math.NaN()
+	}
+	rank := q * float64(d.Count)
+	var cum int64
+	for i, n := range d.Counts {
+		if n == 0 {
+			continue
+		}
+		prev := float64(cum)
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(d.Bounds) {
+			// Overflow bucket: no finite upper edge to interpolate
+			// against; saturate at the largest finite bound.
+			if len(d.Bounds) == 0 {
+				return math.NaN()
+			}
+			return d.Bounds[len(d.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = d.Bounds[i-1]
+		}
+		hi := d.Bounds[i]
+		frac := (rank - prev) / float64(n)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac
+	}
+	if len(d.Bounds) == 0 {
+		return math.NaN()
+	}
+	return d.Bounds[len(d.Bounds)-1]
+}

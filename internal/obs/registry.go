@@ -105,6 +105,9 @@ type Registry struct {
 	counts map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	cvecs  map[string]*CounterVec
+	gvecs  map[string]*GaugeVec
+	hvecs  map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
@@ -176,36 +179,68 @@ type HistogramDump struct {
 	Sum    float64   `json:"sum"`
 }
 
-// Dump is the JSON form of a registry snapshot.
+// Dump is the JSON form of a registry snapshot. Labeled families are
+// flattened into the same maps under `name{key="value",...}` keys with
+// keys in the family's declared order, so a dump is a flat, sorted
+// name→value view of the whole registry. Maps are nil when empty (no
+// spurious `{}` entries), bucket bounds are sorted at histogram
+// construction, and encoding/json emits map keys in sorted order — two
+// snapshots of registries in the same state serialize byte-identically,
+// which is what lets benchdiff -metrics diff two dumps.
 type Dump struct {
-	Counters   map[string]int64         `json:"counters"`
+	Counters   map[string]int64         `json:"counters,omitempty"`
 	Gauges     map[string]float64       `json:"gauges,omitempty"`
 	Histograms map[string]HistogramDump `json:"histograms,omitempty"`
 }
 
+// seriesName renders a flattened map key for one series of a labeled
+// family: `name{key="value",...}`, or just name for unlabeled series.
+func seriesName(name string, keys, values []string) string {
+	if len(keys) == 0 {
+		return name
+	}
+	out := name + "{"
+	for i, k := range keys {
+		if i > 0 {
+			out += ","
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		out += k + `="` + v + `"`
+	}
+	return out + "}"
+}
+
 // Snapshot returns a point-in-time copy of every registered metric.
 func (r *Registry) Snapshot() Dump {
-	d := Dump{Counters: map[string]int64{}}
+	var d Dump
 	if r == nil {
 		return d
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for name, c := range r.counts {
-		d.Counters[name] = c.Value()
-	}
-	if len(r.gauges) > 0 {
-		d.Gauges = make(map[string]float64, len(r.gauges))
-		for name, g := range r.gauges {
-			d.Gauges[name] = g.Value()
-		}
-	}
-	if len(r.hists) > 0 {
-		d.Histograms = make(map[string]HistogramDump, len(r.hists))
-		for name, h := range r.hists {
-			bounds, counts := h.Buckets()
-			d.Histograms[name] = HistogramDump{
-				Bounds: bounds, Counts: counts, Count: h.Count(), Sum: h.Sum(),
+	for _, f := range r.Gather() {
+		switch f.Kind {
+		case "counter":
+			if d.Counters == nil {
+				d.Counters = make(map[string]int64)
+			}
+			for _, s := range f.Series {
+				d.Counters[seriesName(f.Name, f.Keys, s.Labels)] = int64(s.Value)
+			}
+		case "gauge":
+			if d.Gauges == nil {
+				d.Gauges = make(map[string]float64)
+			}
+			for _, s := range f.Series {
+				d.Gauges[seriesName(f.Name, f.Keys, s.Labels)] = s.Value
+			}
+		case "histogram":
+			if d.Histograms == nil {
+				d.Histograms = make(map[string]HistogramDump)
+			}
+			for _, s := range f.Series {
+				d.Histograms[seriesName(f.Name, f.Keys, s.Labels)] = *s.Hist
 			}
 		}
 	}
@@ -227,6 +262,15 @@ func (r *Registry) Names() []string {
 		out = append(out, name)
 	}
 	for name := range r.hists {
+		out = append(out, name)
+	}
+	for name := range r.cvecs {
+		out = append(out, name)
+	}
+	for name := range r.gvecs {
+		out = append(out, name)
+	}
+	for name := range r.hvecs {
 		out = append(out, name)
 	}
 	sort.Strings(out)

@@ -1,0 +1,144 @@
+// Attribution rendering: the per-arc breakdown of the top-K endpoint
+// paths (core.Attribution) as aligned text and as JSON, for the CLI's
+// attribution flags and the introspection server's /debug/obs/critpath.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"xtalksta/internal/core"
+)
+
+// AttrAggressor is one actively coupling neighbor, JSON form.
+type AttrAggressor struct {
+	Net string  `json:"net"`
+	CfF float64 `json:"c_ff"` // coupling cap in femtofarads
+}
+
+// AttrStep is one path hop, JSON form (times in ns).
+type AttrStep struct {
+	Net              string          `json:"net"`
+	Dir              string          `json:"dir"`
+	Cell             string          `json:"cell,omitempty"`
+	WireNs           float64         `json:"wire_ns"`
+	GateNs           float64         `json:"gate_ns"`
+	QuietGateNs      float64         `json:"quiet_gate_ns"`
+	CouplingSlowdown float64         `json:"coupling_slowdown_ns"`
+	ArrivalNs        float64         `json:"arrival_ns"`
+	Aggressors       []AttrAggressor `json:"aggressors,omitempty"`
+	Exact            bool            `json:"exact"`
+}
+
+// AttrPath is one attributed endpoint path, JSON form.
+type AttrPath struct {
+	Endpoint        string     `json:"endpoint"`
+	Kind            string     `json:"kind"`
+	Cell            string     `json:"cell,omitempty"`
+	Dir             string     `json:"dir"`
+	LaunchNs        float64    `json:"launch_ns"`
+	EndpointExtraNs float64    `json:"endpoint_extra_ns"`
+	TotalNs         float64    `json:"total_ns"`
+	Exact           bool       `json:"exact"`
+	Steps           []AttrStep `json:"steps"`
+}
+
+// Attribution is the JSON form of core.Attribution.
+type Attribution struct {
+	Mode  string     `json:"mode"`
+	TopK  int        `json:"top_k"`
+	Paths []AttrPath `json:"paths"`
+}
+
+// BuildAttribution converts the engine's attribution into the report
+// shape (seconds → ns, farads → fF).
+func BuildAttribution(a *core.Attribution) *Attribution {
+	if a == nil {
+		return nil
+	}
+	out := &Attribution{Mode: a.Mode.String(), TopK: a.TopK}
+	for _, p := range a.Paths {
+		rp := AttrPath{
+			Endpoint:        p.Endpoint.Net,
+			Kind:            p.Endpoint.Kind,
+			Cell:            p.Endpoint.Cell,
+			Dir:             p.Dir.String(),
+			LaunchNs:        p.Launch * 1e9,
+			EndpointExtraNs: p.EndpointExtra * 1e9,
+			TotalNs:         p.Total * 1e9,
+			Exact:           p.Exact,
+		}
+		for _, s := range p.Steps {
+			rs := AttrStep{
+				Net:              s.Net,
+				Dir:              s.Dir.String(),
+				Cell:             s.Cell,
+				WireNs:           s.Wire * 1e9,
+				GateNs:           s.Gate * 1e9,
+				QuietGateNs:      s.QuietGate * 1e9,
+				CouplingSlowdown: s.CouplingSlowdown * 1e9,
+				ArrivalNs:        s.Arrival * 1e9,
+				Exact:            s.Exact,
+			}
+			for _, ag := range s.Aggressors {
+				rs.Aggressors = append(rs.Aggressors, AttrAggressor{Net: ag.Net, CfF: ag.C * 1e15})
+			}
+			rp.Steps = append(rp.Steps, rs)
+		}
+		out.Paths = append(out.Paths, rp)
+	}
+	return out
+}
+
+// Render writes the attribution as an aligned text report.
+func (a *Attribution) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "timing attribution — %s analysis, top %d paths\n", a.Mode, a.TopK)
+	for i, p := range a.Paths {
+		tag := ""
+		if !p.Exact {
+			tag = "  [inexact: carried-over state]"
+		}
+		where := p.Endpoint
+		if p.Cell != "" {
+			where += " (" + p.Kind + " of " + p.Cell + ")"
+		} else {
+			where += " (" + p.Kind + ")"
+		}
+		fmt.Fprintf(&b, "\npath %d: %s %s, arrival %.4f ns%s\n", i+1, where, p.Dir, p.TotalNs, tag)
+		fmt.Fprintf(&b, "  %-20s %-5s %-16s %9s %9s %9s %9s %11s  %s\n",
+			"net", "dir", "cell", "wire[ps]", "gate[ps]", "quiet[ps]", "xtalk[ps]", "arrival[ns]", "aggressors")
+		fmt.Fprintf(&b, "  %s\n", strings.Repeat("-", 110))
+		for _, s := range p.Steps {
+			aggs := ""
+			for j, ag := range s.Aggressors {
+				if j > 0 {
+					aggs += " "
+				}
+				aggs += fmt.Sprintf("%s(%.2ffF)", ag.Net, ag.CfF)
+			}
+			if s.Cell == "" {
+				fmt.Fprintf(&b, "  %-20s %-5s %-16s %9s %9s %9s %9s %11.4f  %s\n",
+					s.Net, s.Dir, "(launch)", "-", "-", "-", "-", s.ArrivalNs, aggs)
+				continue
+			}
+			fmt.Fprintf(&b, "  %-20s %-5s %-16s %9.2f %9.2f %9.2f %9.2f %11.4f  %s\n",
+				s.Net, s.Dir, s.Cell, s.WireNs*1e3, s.GateNs*1e3, s.QuietGateNs*1e3,
+				s.CouplingSlowdown*1e3, s.ArrivalNs, aggs)
+		}
+		if p.EndpointExtraNs != 0 {
+			fmt.Fprintf(&b, "  %-20s %-5s %-16s %9.2f\n", "(endpoint wire)", "", "", p.EndpointExtraNs*1e3)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON writes the attribution as indented JSON.
+func (a *Attribution) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
