@@ -2,11 +2,17 @@ GO ?= go
 
 # Output file of the bench-json target; override per PR or in CI, e.g.
 #   make bench-json BENCH_OUT=BENCH_ci.json
-BENCH_OUT ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr8.json
 
 # Worker goroutines for the bench-json run (the wavefront scheduler's
 # headline numbers are parallel; set 0 for the sequential reference).
 BENCH_WORKERS ?= 8
+
+# Load-generator knobs for the "server" section of the bench JSON
+# (xtalkload against a self-hosted daemon; see cmd/xtalkload).
+LOAD_CELLS ?= 300
+LOAD_DURATION ?= 3s
+LOAD_CONCURRENCY ?= 8
 
 # Baseline the bench gate compares against, and the allowed per-mode
 # delay drift in percent. Delays are deterministic functions of the
@@ -15,16 +21,16 @@ BENCH_WORKERS ?= 8
 BENCH_BASELINE ?= ci/bench_baseline.json
 BENCH_TOL ?= 0.5
 
-.PHONY: all check ci fmt-check vet staticcheck build test race metrics-lint bench bench-json bench-gate clean
+.PHONY: all check ci fmt-check vet staticcheck build test race race-server metrics-lint bench bench-json bench-gate clean
 
 all: check
 
 # The full verification gate: vet, build, tests, and the race detector
 # on the concurrency-sensitive packages.
-check: vet build test race
+check: vet build test race race-server
 
 # Everything CI runs, reproducible locally with one command.
-ci: fmt-check vet staticcheck build test race metrics-lint bench-gate
+ci: fmt-check vet staticcheck build test race race-server metrics-lint bench-gate
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -58,6 +64,13 @@ race:
 	$(GO) test -race -run 'SchedulerParity|Dataflow' -count=1 ./internal/core/
 	$(GO) test -race -run 'Concurrent|Parallel' -count=1 .
 
+# Race-detector pass over the serving layer: the daemon's handler,
+# admission-control and coalescing tests (8-worker mixed read/edit
+# traffic through one design) plus the introspection plane's
+# serve/shutdown lifecycle.
+race-server:
+	$(GO) test -race -count=1 ./internal/server/ ./internal/obs/httpserve/
+
 # Metric-vocabulary gate: the two-direction drift test (every name the
 # runtime registers is declared in obs.AllMetrics and vice versa — see
 # DESIGN.md §12 for the label-cardinality rules) plus vet, so a metric
@@ -75,11 +88,17 @@ bench:
 # (DESIGN.md §11) as the optional "sweep" block.
 bench-json:
 	$(GO) run ./cmd/xtalksta -preset s35932 -scale 0.05 -workers $(BENCH_WORKERS) -sweep-bench -json $(BENCH_OUT)
+	$(GO) run ./cmd/xtalkload -cells $(LOAD_CELLS) -duration $(LOAD_DURATION) -concurrency $(LOAD_CONCURRENCY) -merge $(BENCH_OUT)
 
 # Regression gate: run the small preset and compare each mode's delay
 # against the checked-in baseline. Fails on drift beyond $(BENCH_TOL)%.
+# The candidate also carries the analysis-latency and daemon "server"
+# sections (a short xtalkload run), which benchdiff reports warn-only —
+# latency drift on shared CI hardware never fails the gate, delay drift
+# always does.
 bench-gate:
 	$(GO) run ./cmd/xtalksta -preset s35932 -scale 0.02 -json BENCH_gate.json >/dev/null
+	$(GO) run ./cmd/xtalkload -cells $(LOAD_CELLS) -duration 2s -concurrency 4 -merge BENCH_gate.json
 	$(GO) run ./cmd/benchdiff -base $(BENCH_BASELINE) -new BENCH_gate.json -tol $(BENCH_TOL)
 
 clean:

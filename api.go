@@ -752,6 +752,18 @@ func (d *Design) analyzeCorner(corner Corner, opts AnalysisOptions) (*AnalysisRe
 	return eng.Run()
 }
 
+// AnalyzeCorner runs one analysis at a single process corner over that
+// corner's memoized evaluation stack (device library, coupling model,
+// calculator and compiled snapshot) — the single-query shape the
+// timing server's per-(mode, corner) requests need, without paying for
+// the full three-corner sweep. Corner results carry no replay state
+// (they evaluate under a corner-specific calculator, so they cannot
+// seed a typical-corner Reanalyze).
+func (d *Design) AnalyzeCorner(corner Corner, opts AnalysisOptions) (*AnalysisResult, error) {
+	opts.DisableReplay = true
+	return d.analyzeCorner(corner, opts)
+}
+
 // AnalyzeCorners runs the analysis at the slow, typical and fast
 // process corners (device parameters varied; the extracted interconnect
 // is kept, as corner extraction is a separate axis). The per-corner
@@ -911,6 +923,35 @@ func (d *Design) buildTable(title string, withGolden bool, base AnalysisOptions,
 // Stats returns circuit statistics for reporting.
 func (d *Design) Stats() (netlist.Stats, error) {
 	return d.circuit().Stats()
+}
+
+// CoupledPair names two nets joined by a coupling capacitance.
+type CoupledPair struct {
+	A, B string
+	C    float64 // farads
+}
+
+// CoupledPairs returns up to max coupled net pairs of the current
+// revision (each pair once, A before B in net-ID order), in
+// deterministic net order. This is the edit-target discovery surface
+// of the timing server: a router-in-the-loop client picks pairs from
+// it to drive ScaleCoupling/SetCoupling what-if traffic without
+// holding a reference to the circuit itself.
+func (d *Design) CoupledPairs(max int) []CoupledPair {
+	c := d.circuit()
+	var out []CoupledPair
+	for _, n := range c.Nets {
+		for _, cp := range n.Par.Couplings {
+			if cp.Other <= n.ID {
+				continue // report each undirected pair once
+			}
+			out = append(out, CoupledPair{A: n.Name, B: c.Net(cp.Other).Name, C: cp.C})
+			if max > 0 && len(out) >= max {
+				return out
+			}
+		}
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------

@@ -13,6 +13,12 @@
 // vary with hardware and scheduling. Delays are pure functions of the
 // design and must not move.
 //
+// The optional "latency" (analysis percentiles from `xtalksta -json`)
+// and "server" (daemon percentiles/throughput from `xtalkload -merge`)
+// sections diff warn-only: rows moving beyond -lat-tol are marked WARN
+// in the report but never fail the build — wall-clock numbers from a
+// shared CI box are for explaining drift, not gating it.
+//
 // With -metrics the inputs are metrics-registry dumps (`xtalksta
 // -metrics`, Registry.WriteJSON) instead: the report lists every
 // counter, gauge and histogram sample-count whose value moved between
@@ -50,6 +56,10 @@ type benchFile struct {
 		Passes      int     `json:"passes"`
 		Evaluations int64   `json:"arc_evaluations"`
 	} `json:"rows"`
+	// Latency and Server are flat numeric sections (absent in older
+	// files). They diff warn-only: wall-clock figures, never gated.
+	Latency map[string]float64 `json:"latency"`
+	Server  map[string]float64 `json:"server"`
 }
 
 // envString renders one file's recorded environment for the header.
@@ -179,10 +189,57 @@ func diffSection(kind string, base, cand map[string]float64) int {
 	return n
 }
 
+// diffWarnOnly compares one flat numeric section between the files and
+// prints rows whose relative drift exceeds tol percent with a WARN
+// mark. It returns the number of warned rows but never fails the run:
+// latency and throughput on shared hardware are informational.
+func diffWarnOnly(section string, base, cand map[string]float64, tol float64) int {
+	switch {
+	case len(base) == 0 && len(cand) == 0:
+		return 0
+	case len(base) == 0:
+		fmt.Printf("\n%s: no baseline section; candidate recorded (informational)\n", section)
+		return 0
+	case len(cand) == 0:
+		fmt.Printf("\n%s: section missing from candidate (informational)\n", section)
+		return 0
+	}
+	names := make([]string, 0, len(base))
+	for k := range base {
+		if _, ok := cand[k]; ok {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%s (warn-only, tol %.0f%%):\n", section, tol)
+	fmt.Printf("  %-24s %12s %12s %9s\n", "key", "base", "new", "drift %")
+	warned := 0
+	for _, k := range names {
+		bv, nv := base[k], cand[k]
+		drift := 0.0
+		if bv != 0 {
+			drift = 100 * math.Abs(nv-bv) / math.Abs(bv)
+		} else if nv != 0 {
+			drift = math.Inf(1)
+		}
+		mark := ""
+		if drift > tol {
+			mark = "  WARN"
+			warned++
+		}
+		fmt.Printf("  %-24s %12.4g %12.4g %9.1f%s\n", k, bv, nv, drift, mark)
+	}
+	if warned > 0 {
+		fmt.Printf("  %d %s rows beyond %.0f%% (informational; not gated)\n", warned, section, tol)
+	}
+	return warned
+}
+
 func main() {
 	basePath := flag.String("base", "", "baseline bench JSON")
 	newPath := flag.String("new", "", "candidate bench JSON")
 	tol := flag.Float64("tol", 0.5, "allowed per-mode delay drift in percent")
+	latTol := flag.Float64("lat-tol", 25, "warn threshold in percent for the latency/server sections (never fails)")
 	metricsMode := flag.Bool("metrics", false, "diff two metrics-registry dumps (xtalksta -metrics) instead of bench results; informational, never fails")
 	flag.Parse()
 	if *basePath == "" || *newPath == "" {
@@ -237,6 +294,8 @@ func main() {
 		}
 		fmt.Printf("%-22s %12.4f %12.4f %9.3f%s\n", r.Method, r.DelayNs, nd, drift, mark)
 	}
+	diffWarnOnly("latency", base.Latency, cand.Latency, *latTol)
+	diffWarnOnly("server", base.Server, cand.Server, *latTol)
 	if fail {
 		fmt.Fprintf(os.Stderr, "benchdiff: delays drifted beyond %.2f%% of %s\n", *tol, *basePath)
 		os.Exit(1)

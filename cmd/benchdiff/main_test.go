@@ -64,3 +64,57 @@ func TestLoadRejectsEmpty(t *testing.T) {
 		t.Fatal("expected an error for a file with no rows")
 	}
 }
+
+func TestLoadServerAndLatencySections(t *testing.T) {
+	p := writeTemp(t, "bench.json", `{
+		"circuit": "x",
+		"rows": [{"method": "Iterative", "delay_ns": 1.5}],
+		"latency": {"analysis_p50_ms": 10.5, "analysis_p99_ms": 31.0},
+		"server": {"analyze_p50_ms": 0.2, "throughput_rps": 9000, "requests": 43131}
+	}`)
+	f, err := load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Latency["analysis_p50_ms"] != 10.5 {
+		t.Errorf("latency section: %v", f.Latency)
+	}
+	if f.Server["throughput_rps"] != 9000 || f.Server["requests"] != 43131 {
+		t.Errorf("server section: %v", f.Server)
+	}
+	// Older files without the sections still load with nil maps.
+	old, err := load(writeTemp(t, "old.json", `{"circuit":"x","rows":[{"method":"Best case","delay_ns":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Latency != nil || old.Server != nil {
+		t.Errorf("expected nil sections, got %v / %v", old.Latency, old.Server)
+	}
+}
+
+// TestDiffWarnOnlyNeverGates: the latency/server diff flags drift but
+// must never produce a failure — only a warn count.
+func TestDiffWarnOnly(t *testing.T) {
+	base := map[string]float64{"p50_ms": 1.0, "p99_ms": 4.0, "rps": 1000}
+	cand := map[string]float64{"p50_ms": 1.1, "p99_ms": 8.0, "rps": 990}
+	if got := diffWarnOnly("server", base, cand, 25); got != 1 {
+		t.Errorf("warned rows = %d, want 1 (only p99 doubled)", got)
+	}
+	if got := diffWarnOnly("server", base, cand, 5); got != 2 {
+		t.Errorf("warned rows at 5%% = %d, want 2", got)
+	}
+	// Missing sections on either side are informational no-ops.
+	if got := diffWarnOnly("server", nil, cand, 25); got != 0 {
+		t.Errorf("no-baseline warned = %d, want 0", got)
+	}
+	if got := diffWarnOnly("server", base, nil, 25); got != 0 {
+		t.Errorf("no-candidate warned = %d, want 0", got)
+	}
+	if got := diffWarnOnly("server", nil, nil, 25); got != 0 {
+		t.Errorf("both-missing warned = %d, want 0", got)
+	}
+	// A zero baseline with a nonzero candidate is infinite drift: warned.
+	if got := diffWarnOnly("server", map[string]float64{"x": 0}, map[string]float64{"x": 3}, 25); got != 1 {
+		t.Errorf("zero-baseline warned = %d, want 1", got)
+	}
+}

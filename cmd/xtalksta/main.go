@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,10 +27,12 @@ import (
 	"math/rand"
 	"os"
 	"os/exec"
+	"os/signal"
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"xtalksta"
@@ -197,6 +200,24 @@ func run() error {
 		}
 		defer obsSrv.Close()
 		fmt.Fprintf(os.Stderr, "introspection plane listening on http://%s\n", obsSrv.Addr())
+
+		// Clean exit on SIGINT/SIGTERM while serving: drain the plane
+		// (in-flight scrapes finish, the listener closes, nothing leaks)
+		// instead of dying mid-response.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigc)
+		go func() {
+			sig, ok := <-sigc
+			if !ok {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "xtalksta: %v: draining introspection plane\n", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			obsSrv.Shutdown(ctx)
+			os.Exit(130)
+		}()
 	}
 
 	if (*attrFlag || *attrJSON != "") && *mode == "" {

@@ -1,0 +1,127 @@
+// Command xtalkstad is the timing-as-a-service daemon: a long-running
+// HTTP server holding a registry of compiled designs and answering
+// crosstalk-aware timing queries, with admission control (bounded
+// in-flight analyses + a deadline-aware queue; overload sheds with
+// 429/503) and single-flight coalescing of identical
+// (revision, mode, corner) queries.
+//
+// Usage:
+//
+//	xtalkstad -addr :8080 -preset s35932 -scale 0.02
+//	xtalkstad -addr 127.0.0.1:0 -cells 400 -max-inflight 2 -max-queue 32
+//
+// The preloaded design registers under -id (default "main"); further
+// designs load at runtime with POST /v1/designs. The same mux serves
+// the introspection plane: /metrics, /debug/pprof/* and /debug/obs/*.
+// SIGINT/SIGTERM drain gracefully: the listener closes immediately,
+// in-flight analyses finish, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"xtalksta"
+	"xtalksta/internal/circuitgen"
+	"xtalksta/internal/obs"
+	"xtalksta/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xtalkstad:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		id   = flag.String("id", "main", "registry id of the preloaded design")
+
+		preset = flag.String("preset", "", "preload a paper benchmark preset: s35932, s38417 or s38584")
+		scale  = flag.Float64("scale", 0.02, "preset size scale in (0,1]")
+		cells  = flag.Int("cells", 0, "preload a synthetic circuit with this many cells")
+		dffs   = flag.Int("dffs", 0, "flip-flop count for -cells (default cells/10)")
+		depth  = flag.Int("depth", 12, "logic depth for -cells")
+		seed   = flag.Int64("seed", 1, "generator seed for -cells")
+
+		maxInFlight  = flag.Int("max-inflight", 0, "concurrently running requests (0 = default 4)")
+		maxQueue     = flag.Int("max-queue", 0, "requests waiting for a slot before 429s (0 = default 64)")
+		queueTimeout = flag.Duration("queue-timeout", 0, "max wait for a slot before a 503 (0 = default 5s)")
+		workers      = flag.Int("workers", 0, "worker goroutines per analysis sweep (0/1 = sequential)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	srv := server.New(server.Config{
+		Registry:     reg,
+		MaxInFlight:  *maxInFlight,
+		MaxQueue:     *maxQueue,
+		QueueTimeout: *queueTimeout,
+		Workers:      *workers,
+	})
+
+	if *preset != "" || *cells > 0 {
+		d, title, err := buildDesign(*preset, *scale, *cells, *dffs, *depth, *seed, reg)
+		if err != nil {
+			return err
+		}
+		if err := srv.Register(*id, title, d); err != nil {
+			return err
+		}
+		st, err := d.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "xtalkstad: design %q: %s — %d cells (%d DFFs), %d nets, depth %d\n",
+			*id, title, st.Cells, st.DFFs, st.Nets, st.LogicDepth)
+	}
+
+	if err := srv.Start(*addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "xtalkstad: serving on http://%s\n", srv.Addr())
+
+	// Block until SIGINT/SIGTERM, then drain: no new connections,
+	// running analyses finish (bounded by -drain-timeout), exit clean.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	fmt.Fprintf(os.Stderr, "xtalkstad: %v: draining (up to %v)\n", sig, *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "xtalkstad: drained, bye")
+	return nil
+}
+
+func buildDesign(preset string, scale float64, cells, dffs, depth int, seed int64, reg *obs.Registry) (*xtalksta.Design, string, error) {
+	bopts := xtalksta.Defaults()
+	bopts.Layout.Metrics = reg
+	bopts.Calc.Metrics = reg
+	switch {
+	case preset != "":
+		d, err := xtalksta.GeneratePreset(xtalksta.Preset(strings.ToLower(preset)), scale, bopts)
+		return d, fmt.Sprintf("%s (scale %.2f)", preset, scale), err
+	case cells > 0:
+		if dffs <= 0 {
+			dffs = cells / 10
+		}
+		d, err := xtalksta.Generate(circuitgen.Params{
+			Seed: seed, Cells: cells, DFFs: dffs, Depth: depth, ClockFanout: 8,
+		}, bopts)
+		return d, fmt.Sprintf("synthetic %d cells (seed %d)", cells, seed), err
+	}
+	return nil, "", fmt.Errorf("one of -preset or -cells is required to preload")
+}

@@ -15,6 +15,7 @@
 package httpserve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -183,10 +184,23 @@ func (s *Server) Addr() string {
 	return s.lis.Addr().String()
 }
 
-// Close shuts the server down.
+// Close shuts the server down immediately, dropping in-flight
+// requests. Prefer Shutdown for a clean exit.
 func (s *Server) Close() error {
 	if s.http == nil {
 		return nil
 	}
 	return s.http.Close()
+}
+
+// Shutdown drains the server gracefully: the listener closes at once
+// (no new connections, the port is immediately reusable), in-flight
+// requests run to completion, and the call returns when everything has
+// finished or ctx expires — the SIGINT/SIGTERM path of the CLIs and
+// the xtalkstad daemon. No-op before Start.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Shutdown(ctx)
 }

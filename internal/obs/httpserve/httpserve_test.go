@@ -1,12 +1,16 @@
 package httpserve
 
 import (
+	"context"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"xtalksta/internal/obs"
 )
@@ -143,6 +147,82 @@ func TestStartServesLoopback(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
 		t.Error("server still reachable after Close")
+	}
+}
+
+// TestShutdownGraceful is the clean-exit contract behind the CLIs'
+// signal handlers: Shutdown lets an in-flight request finish, refuses
+// new connections, frees the port (no leaked listener on 127.0.0.1:0),
+// and is safe to call again — or before Start at all.
+func TestShutdownGraceful(t *testing.T) {
+	if err := New(nil).Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown before Start: %v", err)
+	}
+
+	reg := obs.NewRegistry()
+	srv := New(reg)
+	// A slow sessions view holds one request in flight across Shutdown.
+	release := make(chan struct{})
+	inFlight := make(chan struct{})
+	var once sync.Once
+	srv.SetSessions(func() any {
+		once.Do(func() { close(inFlight); <-release })
+		return map[string]int{"ok": 1}
+	})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	type result struct {
+		code int
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/debug/obs/sessions")
+		if err != nil {
+			got <- result{0, err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		got <- result{resp.StatusCode, nil}
+	}()
+	<-inFlight
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+	// Shutdown must wait for the in-flight request; release it and both
+	// the request and the drain must complete cleanly.
+	close(release)
+	r := <-got
+	if r.err != nil || r.code != 200 {
+		t.Fatalf("in-flight request during Shutdown: code %d err %v", r.code, r.err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The listener is gone: new requests fail and the exact port is
+	// immediately bindable again (nothing leaked).
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still reachable after Shutdown")
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after Shutdown: %v", err)
+	}
+	lis.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
 	}
 }
 

@@ -108,6 +108,27 @@ const (
 	// Introspection HTTP server, labeled by route pattern (a closed
 	// set — never by raw request path).
 	MObsHTTPRequests = "obs_http_requests_total" // counter{route}
+
+	// Timing-as-a-service daemon (internal/server, cmd/xtalkstad).
+	// Endpoint is the fixed route name (designs, design, analyze, edit,
+	// paths — a closed set), code the HTTP status it answered with, and
+	// reason the shed cause (queue_full or deadline). QueueDepth is the
+	// number of requests waiting for an analysis slot right now and
+	// InFlight the number holding one; CoalesceLeaders counts analyses
+	// actually run on behalf of a coalesced query group, CoalesceHits
+	// the identical concurrent queries that shared a leader's result,
+	// and ResultCacheHits the queries answered from the per-revision
+	// response cache without any session at all.
+	MServerRequests        = "server_requests_total"           // counter{endpoint,code}
+	MServerRequestLatency  = "server_request_duration_seconds" // histogram{endpoint}
+	MServerQueueDepth      = "server_queue_depth"              // gauge
+	MServerInFlight        = "server_inflight_sessions"        // gauge
+	MServerShed            = "server_shed_total"               // counter{reason}
+	MServerCoalesceHits    = "server_coalesce_hits_total"
+	MServerCoalesceLeaders = "server_coalesce_leaders_total"
+	MServerResultCacheHits = "server_result_cache_hits_total"
+	MServerEditBatches     = "server_edit_batches_total"
+	MServerDesignsLoaded   = "server_designs_loaded" // gauge
 )
 
 // MetricDef describes one canonical metric: its name, instrument kind,
@@ -158,6 +179,13 @@ func AllMetrics() []MetricDef {
 		c(MAnalyses, "mode", "corner", "scheduler"),
 		c(MEventsEmitted), c(MAttributionBuilds),
 		c(MObsHTTPRequests, "route"),
+		c(MServerRequests, "endpoint", "code"),
+		h(MServerRequestLatency, "endpoint"),
+		g(MServerQueueDepth), g(MServerInFlight),
+		c(MServerShed, "reason"),
+		c(MServerCoalesceHits), c(MServerCoalesceLeaders),
+		c(MServerResultCacheHits), c(MServerEditBatches),
+		g(MServerDesignsLoaded),
 	}
 }
 

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"xtalksta/internal/obs"
+)
+
+// Admission errors, mapped to HTTP statuses by the handlers: a full
+// queue sheds immediately (429 Too Many Requests — the client should
+// back off and retry), a deadline expiring while queued sheds late
+// (503 Service Unavailable with the wait already paid).
+var (
+	ErrQueueFull = errors.New("server: admission queue full")
+	ErrDeadline  = errors.New("server: deadline expired waiting for an analysis slot")
+)
+
+// Admission bounds the work a daemon accepts: at most maxInFlight
+// requests hold an analysis slot at once, at most maxQueue more wait
+// for one, and everything beyond that is shed immediately. Waiters are
+// deadline-aware — a queued request whose context expires leaves the
+// queue and is shed instead of running an analysis nobody is waiting
+// for anymore. Slots are FIFO-ish (Go's channel wakeup order), which
+// is fair enough for a load-shedding gate.
+type Admission struct {
+	slots    chan struct{}
+	queueMax int64
+	queued   atomic.Int64
+	inflight atomic.Int64
+
+	depth  *obs.Gauge
+	inflGa *obs.Gauge
+	shed   *obs.CounterVec
+}
+
+// NewAdmission builds an admission gate with the given bounds
+// (non-positive values fall back to 1 in-flight / 0 queued) reporting
+// into reg (nil-safe).
+func NewAdmission(maxInFlight, maxQueue int, reg *obs.Registry) *Admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{
+		slots:    make(chan struct{}, maxInFlight),
+		queueMax: int64(maxQueue),
+		depth:    reg.Gauge(obs.MServerQueueDepth),
+		inflGa:   reg.Gauge(obs.MServerInFlight),
+		shed:     reg.CounterVec(obs.MServerShed, "reason"),
+	}
+}
+
+// Acquire claims an analysis slot, queueing up to the configured bound
+// while ctx is live. It returns nil when the caller holds a slot (pair
+// with Release), ErrQueueFull when the queue is already at capacity,
+// or ErrDeadline when ctx expired before a slot freed up.
+func (a *Admission) Acquire(ctx context.Context) error {
+	// Fast path: a free slot means no queueing at all.
+	select {
+	case a.slots <- struct{}{}:
+		a.inflGa.Set(float64(a.inflight.Add(1)))
+		return nil
+	default:
+	}
+	if ctx.Err() != nil {
+		// Dead on arrival: don't occupy a queue spot for a request whose
+		// deadline has already passed.
+		a.shed.With("deadline").Inc()
+		return ErrDeadline
+	}
+	if q := a.queued.Add(1); q > a.queueMax {
+		a.queued.Add(-1)
+		a.shed.With("queue_full").Inc()
+		return ErrQueueFull
+	}
+	a.depth.Set(float64(a.queued.Load()))
+	defer func() {
+		a.queued.Add(-1)
+		a.depth.Set(float64(a.queued.Load()))
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.inflGa.Set(float64(a.inflight.Add(1)))
+		return nil
+	case <-ctx.Done():
+		a.shed.With("deadline").Inc()
+		return ErrDeadline
+	}
+}
+
+// Release returns a slot claimed by a successful Acquire.
+func (a *Admission) Release() {
+	a.inflGa.Set(float64(a.inflight.Add(-1)))
+	<-a.slots
+}
+
+// InFlight reports the number of requests currently holding a slot.
+func (a *Admission) InFlight() int64 { return a.inflight.Load() }
+
+// Queued reports the number of requests currently waiting for a slot.
+func (a *Admission) Queued() int64 { return a.queued.Load() }

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"xtalksta/internal/obs"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionFastPath(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := NewAdmission(2, 4, reg)
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	if got := reg.Gauge(obs.MServerInFlight).Value(); got != 2 {
+		t.Fatalf("inflight gauge = %v, want 2", got)
+	}
+	a.Release()
+	a.Release()
+	if got := a.InFlight(); got != 0 {
+		t.Fatalf("InFlight after release = %d, want 0", got)
+	}
+}
+
+// TestAdmissionShedding drives the gate through its three outcomes:
+// queueing until a slot frees, immediate shed on a full queue (the 429
+// path), and a deadline expiring while queued (the 503 path).
+func TestAdmissionShedding(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := NewAdmission(1, 1, reg)
+	ctx := context.Background()
+
+	// Occupy the only slot.
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second request queues (the one queue spot).
+	queuedCtx, cancelQueued := context.WithCancel(ctx)
+	defer cancelQueued()
+	queuedErr := make(chan error, 1)
+	go func() { queuedErr <- a.Acquire(queuedCtx) }()
+	waitFor(t, "request to queue", func() bool { return a.Queued() == 1 })
+	if got := reg.Gauge(obs.MServerQueueDepth).Value(); got != 1 {
+		t.Fatalf("queue depth gauge = %v, want 1", got)
+	}
+
+	// A third request finds the queue full: immediate ErrQueueFull.
+	if err := a.Acquire(ctx); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("queue-full Acquire = %v, want ErrQueueFull", err)
+	}
+	if got := reg.CounterVec(obs.MServerShed, "reason").With("queue_full").Value(); got != 1 {
+		t.Fatalf("shed{queue_full} = %v, want 1", got)
+	}
+
+	// The queued request's deadline expires: ErrDeadline, queue drains.
+	cancelQueued()
+	if err := <-queuedErr; !errors.Is(err, ErrDeadline) {
+		t.Fatalf("queued Acquire after cancel = %v, want ErrDeadline", err)
+	}
+	waitFor(t, "queue to drain", func() bool { return a.Queued() == 0 })
+	if got := reg.CounterVec(obs.MServerShed, "reason").With("deadline").Value(); got != 1 {
+		t.Fatalf("shed{deadline} = %v, want 1", got)
+	}
+
+	// With the slot released, the queue admits again.
+	a.Release()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	}
+	a.Release()
+}
+
+func TestAdmissionDeadOnArrival(t *testing.T) {
+	a := NewAdmission(1, 8, obs.NewRegistry())
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := a.Acquire(ctx); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expired-ctx Acquire = %v, want ErrDeadline", err)
+	}
+	if got := a.Queued(); got != 0 {
+		t.Fatalf("dead-on-arrival request occupied the queue: Queued = %d", got)
+	}
+	a.Release()
+}
+
+func TestAdmissionQueuedRequestGetsFreedSlot(t *testing.T) {
+	a := NewAdmission(1, 2, obs.NewRegistry())
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- a.Acquire(ctx) }()
+	waitFor(t, "request to queue", func() bool { return a.Queued() == 1 })
+	a.Release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued Acquire after Release: %v", err)
+	}
+	if a.InFlight() != 1 {
+		t.Fatalf("InFlight = %d, want 1", a.InFlight())
+	}
+	a.Release()
+}

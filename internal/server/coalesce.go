@@ -1,0 +1,65 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flight is one in-progress coalesced computation: the leader fills
+// status/body/err and closes done; followers share the result
+// byte-for-byte, so N identical concurrent queries produce exactly one
+// analysis and Float64bits-identical responses.
+type flight struct {
+	done   chan struct{}
+	status int
+	body   []byte
+	err    error
+}
+
+// flightGroup is a single-flight keyed on the query identity
+// (design, revision, mode, corner, options) — the thundering-herd
+// collapse behind /analyze and /paths. Unlike a result cache, entries
+// live only while the leader runs: a query arriving after completion
+// starts a fresh flight (the response cache above this layer handles
+// that case).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+	// joined counts followers that attached to a live flight —
+	// observable before the flight completes, which is what lets tests
+	// park N followers behind a gated leader deterministically.
+	joined atomic.Int64
+}
+
+// do coalesces concurrent calls with the same key onto one execution
+// of fn. The leader runs fn to completion regardless of its own ctx
+// (its followers still want the result); followers wait for the shared
+// result or their ctx, whichever fires first. leader reports which
+// side this call was — false is the coalesce-hit case.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (int, []byte, error)) (status int, body []byte, leader bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		g.joined.Add(1)
+		select {
+		case <-f.done:
+			return f.status, f.body, false, f.err
+		case <-ctx.Done():
+			return 0, nil, false, ErrDeadline
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.status, f.body, f.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.status, f.body, true, f.err
+}
