@@ -2,7 +2,7 @@ GO ?= go
 
 # Output file of the bench-json target; override per PR or in CI, e.g.
 #   make bench-json BENCH_OUT=BENCH_ci.json
-BENCH_OUT ?= BENCH_pr8.json
+BENCH_OUT ?= BENCH_pr9.json
 
 # Worker goroutines for the bench-json run (the wavefront scheduler's
 # headline numbers are parallel; set 0 for the sequential reference).
@@ -21,7 +21,7 @@ LOAD_CONCURRENCY ?= 8
 BENCH_BASELINE ?= ci/bench_baseline.json
 BENCH_TOL ?= 0.5
 
-.PHONY: all check ci fmt-check vet staticcheck build test race race-server metrics-lint bench bench-json bench-gate clean
+.PHONY: all check ci fmt-check vet staticcheck build test race race-server metrics-lint bench bench-json bench-gate bench-ablation clean
 
 all: check
 
@@ -30,7 +30,7 @@ all: check
 check: vet build test race race-server
 
 # Everything CI runs, reproducible locally with one command.
-ci: fmt-check vet staticcheck build test race race-server metrics-lint bench-gate
+ci: fmt-check vet staticcheck build test race race-server metrics-lint bench-gate bench-ablation
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -101,6 +101,16 @@ bench-gate:
 	$(GO) run ./cmd/xtalkload -cells $(LOAD_CELLS) -duration 2s -concurrency 4 -merge BENCH_gate.json
 	$(GO) run ./cmd/benchdiff -base $(BENCH_BASELINE) -new BENCH_gate.json -tol $(BENCH_TOL)
 
+# Tier-0 exactness ablation: run the preset all-Newton and with the
+# tiered dispatcher (the CLI default) and diff at zero tolerance.
+# encoding/json round-trips float64 exactly, so -tol 0 fails on a
+# single-ULP delay difference in any mode — the tiered evaluation is
+# a dispatch optimization, never a numeric change (DESIGN.md §14).
+bench-ablation:
+	$(GO) run ./cmd/xtalksta -preset s35932 -scale 0.02 -tier0=false -json BENCH_newton.json >/dev/null
+	$(GO) run ./cmd/xtalksta -preset s35932 -scale 0.02 -json BENCH_tier0.json >/dev/null
+	$(GO) run ./cmd/benchdiff -base BENCH_newton.json -new BENCH_tier0.json -tol 0
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_gate.json
+	rm -f BENCH_gate.json BENCH_newton.json BENCH_tier0.json

@@ -898,6 +898,8 @@ func (d *Design) buildTable(title string, withGolden bool, base AnalysisOptions,
 			Runtime:     r.Runtime,
 			Passes:      r.Passes,
 			Evaluations: r.ArcEvaluations,
+			Tier0Evals:  r.Tier0Hits,
+			NewtonEvals: r.ArcEvaluations,
 		})
 		if r.Mode == Iterative {
 			iterRes = r

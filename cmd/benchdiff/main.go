@@ -55,6 +55,8 @@ type benchFile struct {
 		RuntimeMs   float64 `json:"runtime_ms"`
 		Passes      int     `json:"passes"`
 		Evaluations int64   `json:"arc_evaluations"`
+		Tier0Evals  int64   `json:"tier0_evals"`
+		NewtonEvals int64   `json:"newton_evals"`
 	} `json:"rows"`
 	// Latency and Server are flat numeric sections (absent in older
 	// files). They diff warn-only: wall-clock figures, never gated.
@@ -294,6 +296,19 @@ func main() {
 		}
 		fmt.Printf("%-22s %12.4f %12.4f %9.3f%s\n", r.Method, r.DelayNs, nd, drift, mark)
 	}
+	// Per-mode evaluation counts diff warn-only, like the wall-clock
+	// sections: tier-0 dispatch, cache reuse and feature flags move them
+	// legitimately — the report explains work drift, the delay rows
+	// above gate correctness.
+	baseEvals := make(map[string]float64, len(base.Rows))
+	for _, r := range base.Rows {
+		baseEvals[r.Method] = float64(r.Evaluations)
+	}
+	candEvals := make(map[string]float64, len(cand.Rows))
+	for _, r := range cand.Rows {
+		candEvals[r.Method] = float64(r.Evaluations)
+	}
+	diffWarnOnly("arc_evaluations", baseEvals, candEvals, *latTol)
 	diffWarnOnly("latency", base.Latency, cand.Latency, *latTol)
 	diffWarnOnly("server", base.Server, cand.Server, *latTol)
 	if fail {

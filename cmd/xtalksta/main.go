@@ -101,6 +101,9 @@ func run() error {
 		parallelModes = flag.Bool("parallel-modes", false, "table mode: run the five analyses concurrently over one compiled snapshot (delays identical; runtimes overlap and share a warm cache)")
 		sweepBench    = flag.Bool("sweep-bench", false, "with -json in table mode: additionally time the five-mode sweep serial (cold cache per mode) vs concurrent (one shared cache) and record both wall-clocks")
 
+		tier0       = flag.Bool("tier0", true, "tiered delay evaluation: analytic bounds skip provably non-critical exact evaluations (bit-identical results; ignored under -esperance/windows)")
+		tier0Margin = flag.Float64("tier0-margin", 0.05, "relative criticality margin of the tier-0 gate; arcs within this fraction of the longest-path frontier always evaluate exactly")
+
 		workers     = flag.Int("workers", 0, "worker goroutines per BFS sweep (0/1 = sequential)")
 		sched       = flag.String("sched", "dataflow", "sweep scheduler: dataflow (wavefront) or levels (barrier reference)")
 		metricsPath = flag.String("metrics", "", "write the metrics registry as JSON to this file")
@@ -228,6 +231,8 @@ func run() error {
 		Esperance:       *esperance,
 		Workers:         *workers,
 		Scheduler:       scheduler,
+		Tier0:           *tier0,
+		Tier0Margin:     *tier0Margin,
 		Metrics:         reg,
 		Trace:           tracer,
 		Events:          events,
@@ -642,6 +647,8 @@ func writeTableJSON(path, title string, st netlist.Stats, table *xtalksta.Table,
 		RuntimeMs   float64 `json:"runtime_ms"`
 		Passes      int     `json:"passes"`
 		Evaluations int64   `json:"arc_evaluations"`
+		Tier0Evals  int64   `json:"tier0_evals"`
+		NewtonEvals int64   `json:"newton_evals"`
 	}
 	out := struct {
 		Circuit  string            `json:"circuit"`
@@ -671,6 +678,8 @@ func writeTableJSON(path, title string, st netlist.Stats, table *xtalksta.Table,
 			RuntimeMs:   float64(r.Runtime) / 1e6,
 			Passes:      r.Passes,
 			Evaluations: r.Evaluations,
+			Tier0Evals:  r.Tier0Evals,
+			NewtonEvals: r.NewtonEvals,
 		})
 	}
 	f, err := os.Create(path)

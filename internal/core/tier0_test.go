@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"xtalksta/internal/netlist"
+)
+
+// TestTier0ParityAllModes is the tiered-evaluation exactness contract:
+// with Options.Tier0 on, every mode's final timing state — longest
+// path, per-net arrivals, slews and quiescent times — is bit-identical
+// to the all-Newton run, while the Iterative mode's dispatcher
+// actually prunes work (Tier0Hits > 0, so the parity is not vacuous).
+func TestTier0ParityAllModes(t *testing.T) {
+	c, calc := buildExtracted(t, 260, 20, 9, 301)
+	for _, m := range Modes() {
+		off := runMode(t, c, calc, Options{Mode: m})
+		on := runMode(t, c, calc, Options{Mode: m, Tier0: true})
+		bitEqual(t, off, on, m.String())
+		if off.Tier0Hits != 0 || off.Tier0Fallbacks != 0 || off.Tier0FlipGuards != 0 {
+			t.Errorf("%s: tier-0 counters nonzero with Tier0 off: %+v", m, off)
+		}
+		if m == Iterative {
+			if on.Tier0Hits == 0 {
+				t.Errorf("%s: Tier0Hits = 0 — the dispatcher pruned nothing, parity is vacuous", m)
+			}
+			if on.Tier0Fallbacks == 0 {
+				t.Errorf("%s: Tier0Fallbacks = 0 — no near-critical arcs dispatched exactly?", m)
+			}
+			if on.ArcEvaluations >= off.ArcEvaluations {
+				t.Errorf("%s: tier-0 run evaluated %d arcs, all-Newton %d — no reduction",
+					m, on.ArcEvaluations, off.ArcEvaluations)
+			}
+			t.Logf("%s: evals %d -> %d (hits %d, fallbacks %d, flip guards %d)",
+				m, off.ArcEvaluations, on.ArcEvaluations,
+				on.Tier0Hits, on.Tier0Fallbacks, on.Tier0FlipGuards)
+		}
+	}
+}
+
+// TestTier0ParitySeeded: an ECO-seeded re-analysis with tier-0 on must
+// land bit-identically on the from-scratch all-Newton result of the
+// edited design — the two exactness mechanisms (replay seeding and
+// tiered dispatch) compose.
+func TestTier0ParitySeeded(t *testing.T) {
+	c, calc := buildExtracted(t, 220, 16, 8, 302)
+	opts := Options{Mode: Iterative, Tier0: true}
+	base := runMode(t, c, calc, opts)
+
+	a, b := firstCoupledPair(t, c)
+	scalePair(c, a, b, 1.7)
+
+	fullOff := runMode(t, c, calc, Options{Mode: Iterative})
+	fullOn := runMode(t, c, calc, opts)
+	bitEqual(t, fullOff, fullOn, "full tier0 on vs off after edit")
+
+	seededOn := runSeeded(t, c, calc, opts, base, []netlist.NetID{a, b})
+	bitEqual(t, fullOff, seededOn, "seeded tier0 on vs full all-Newton")
+	seededOff := runSeeded(t, c, calc, Options{Mode: Iterative}, base, []netlist.NetID{a, b})
+	bitEqual(t, seededOff, seededOn, "seeded tier0 on vs seeded off")
+}
+
+// TestTier0MarginSweepParity: the margin gate is pure dispatch policy,
+// so parity holds for any margin — including 0 (prune maximally) and
+// a margin so wide nothing ever prunes.
+func TestTier0MarginSweepParity(t *testing.T) {
+	c, calc := buildExtracted(t, 200, 14, 8, 303)
+	ref := runMode(t, c, calc, Options{Mode: Iterative})
+	for _, margin := range []float64{1e-9, 0.05, 0.5, 0.999} {
+		got := runMode(t, c, calc, Options{Mode: Iterative, Tier0: true, Tier0Margin: margin})
+		bitEqual(t, ref, got, "margin sweep")
+	}
+}
+
+// TestTier0DisabledUnderApproximateModes: Esperance and Windows rule
+// tier-0 out (their skip/pruning rules read state the bracket proofs do
+// not model) — the dispatcher must stay inert rather than combine.
+func TestTier0DisabledUnderApproximateModes(t *testing.T) {
+	c, calc := buildExtracted(t, 180, 12, 8, 304)
+	for _, opts := range []Options{
+		{Mode: Iterative, Tier0: true, Esperance: true},
+		{Mode: Iterative, Tier0: true, Windows: true},
+	} {
+		res := runMode(t, c, calc, opts)
+		if res.Tier0Hits != 0 || res.Tier0Fallbacks != 0 || res.Tier0FlipGuards != 0 {
+			t.Errorf("esperance=%v windows=%v: tier-0 ran (%d/%d/%d) despite being gated off",
+				opts.Esperance, opts.Windows, res.Tier0Hits, res.Tier0Fallbacks, res.Tier0FlipGuards)
+		}
+		if math.IsInf(res.LongestPath, -1) || res.LongestPath <= 0 {
+			t.Errorf("esperance=%v windows=%v: no longest path", opts.Esperance, opts.Windows)
+		}
+	}
+}
+
+// TestTier0ParallelParity: the tier-0 decisions (dominance, elision,
+// memo, frontier) are all scheduler-independent, so a parallel sweep
+// with tier-0 on matches the sequential all-Newton run bit-for-bit.
+func TestTier0ParallelParity(t *testing.T) {
+	c, calc := buildExtracted(t, 240, 18, 9, 305)
+	ref := runMode(t, c, calc, Options{Mode: Iterative})
+	for _, sched := range []Scheduler{SchedDataflow, SchedLevels} {
+		got := runMode(t, c, calc, Options{Mode: Iterative, Tier0: true, Workers: 4, Scheduler: sched})
+		bitEqual(t, ref, got, "parallel "+sched.String())
+	}
+}

@@ -101,6 +101,9 @@ func TestSingleFlightCountersDeterministic(t *testing.T) {
 
 	got := par.Counters()
 	want.Requests *= goroutines // every goroutine issues the full set
+	// Every request is a simulation or a cache hit (single-flight
+	// waiters count as hits), so hits scale with the request total.
+	want.CacheHits = want.Requests - want.Simulations
 	if got != want {
 		t.Errorf("concurrent counters differ from sequential:\n  got  %+v\n  want %+v", got, want)
 	}

@@ -142,6 +142,7 @@ type Calculator struct {
 	// workers never serialize on bookkeeping; read via Stats/Counters.
 	requests    atomic.Int64
 	misses      atomic.Int64
+	hits        atomic.Int64
 	newtonIters atomic.Int64
 	newtonFails atomic.Int64
 
@@ -308,6 +309,7 @@ func (c *Calculator) Stats() (requests, simulations int64) {
 func (c *Calculator) ResetStats() {
 	c.requests.Store(0)
 	c.misses.Store(0)
+	c.hits.Store(0)
 	c.newtonIters.Store(0)
 	c.newtonFails.Store(0)
 }
@@ -317,6 +319,7 @@ func (c *Calculator) Counters() Counters {
 	return Counters{
 		Requests:         c.requests.Load(),
 		Simulations:      c.misses.Load(),
+		CacheHits:        c.hits.Load(),
 		NewtonIterations: c.newtonIters.Load(),
 		NewtonFailures:   c.newtonFails.Load(),
 	}
@@ -461,6 +464,8 @@ func (c *Calculator) evalInfo(r Request) (Result, Info, error) {
 	c.lock(sh)
 	if res, ok := sh.cache[key]; ok {
 		sh.mu.Unlock()
+		info.CacheHits = 1
+		c.hits.Add(1)
 		c.m.hits.Inc()
 		return res, info, nil
 	}
@@ -469,6 +474,8 @@ func (c *Calculator) evalInfo(r Request) (Result, Info, error) {
 		<-fl.done
 		// A single-flight waiter got the result without simulating:
 		// count it as a hit so hits + misses == requests.
+		info.CacheHits = 1
+		c.hits.Add(1)
 		c.m.hits.Inc()
 		return fl.res, info, fl.err
 	}

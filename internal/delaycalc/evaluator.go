@@ -25,10 +25,14 @@ type Evaluator interface {
 
 // Counters is a point-in-time snapshot of an evaluator's work
 // counters. Requests and Simulations mirror Stats; the Newton fields
-// expose the transistor-level solver effort behind the simulations.
+// expose the transistor-level solver effort behind the simulations;
+// CacheHits counts requests served from the characterization cache
+// (including single-flight waiters), so Requests == Simulations +
+// CacheHits for a cache-enabled calculator.
 type Counters struct {
 	Requests         int64
 	Simulations      int64
+	CacheHits        int64
 	NewtonIterations int64
 	NewtonFailures   int64
 }
@@ -39,6 +43,7 @@ func (c Counters) Sub(prev Counters) Counters {
 	return Counters{
 		Requests:         c.Requests - prev.Requests,
 		Simulations:      c.Simulations - prev.Simulations,
+		CacheHits:        c.CacheHits - prev.CacheHits,
 		NewtonIterations: c.NewtonIterations - prev.NewtonIterations,
 		NewtonFailures:   c.NewtonFailures - prev.NewtonFailures,
 	}

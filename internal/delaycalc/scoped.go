@@ -9,11 +9,15 @@ import (
 
 // Info is the per-call work breakdown of one arc evaluation: the
 // request itself, whether it ran a fresh stage simulation (as opposed
-// to a cache hit or a single-flight wait), and the Newton effort spent.
-// All fields are additive counts so a scope can simply sum them.
+// to a cache hit or a single-flight wait, reported via CacheHits), and
+// the Newton effort spent. All fields are additive counts so a scope
+// can simply sum them; Simulations + CacheHits == Requests for a
+// cache-enabled calculator, which lets attribution renderers split a
+// run's arc evaluations into characterization work vs cache reuse.
 type Info struct {
 	Requests         int64
 	Simulations      int64
+	CacheHits        int64
 	NewtonIterations int64
 	NewtonFailures   int64
 }
@@ -50,6 +54,7 @@ type scoped struct {
 
 	requests    atomic.Int64
 	simulations atomic.Int64
+	cacheHits   atomic.Int64
 	newtonIters atomic.Int64
 	newtonFails atomic.Int64
 }
@@ -59,6 +64,7 @@ func (s *scoped) Eval(r Request) (Result, error) {
 	res, info, err := s.inner.EvalInfo(r)
 	s.requests.Add(info.Requests)
 	s.simulations.Add(info.Simulations)
+	s.cacheHits.Add(info.CacheHits)
 	s.newtonIters.Add(info.NewtonIterations)
 	s.newtonFails.Add(info.NewtonFailures)
 	return res, err
@@ -74,6 +80,7 @@ func (s *scoped) Stats() (requests, simulations int64) {
 func (s *scoped) ResetStats() {
 	s.requests.Store(0)
 	s.simulations.Store(0)
+	s.cacheHits.Store(0)
 	s.newtonIters.Store(0)
 	s.newtonFails.Store(0)
 }
@@ -83,6 +90,7 @@ func (s *scoped) Counters() Counters {
 	return Counters{
 		Requests:         s.requests.Load(),
 		Simulations:      s.simulations.Load(),
+		CacheHits:        s.cacheHits.Load(),
 		NewtonIterations: s.newtonIters.Load(),
 		NewtonFailures:   s.newtonFails.Load(),
 	}
@@ -94,6 +102,16 @@ func (s *scoped) ClearCache() { s.inner.ClearCache() }
 
 func (s *scoped) Proc() device.Process { return s.inner.Proc() }
 func (s *scoped) Siz() ccc.Sizing      { return s.inner.Siz() }
+
+// Tier0Bounds forwards to the shared evaluator when it can bound arcs
+// analytically; otherwise every request reports bounds unavailable and
+// the engine's tier dispatcher degrades to all-Newton (still exact).
+func (s *scoped) Tier0Bounds(r Request) (Bounds, bool) {
+	if be, ok := s.inner.(BoundsEvaluator); ok {
+		return be.Tier0Bounds(r)
+	}
+	return Bounds{}, false
+}
 
 var (
 	_ Evaluator       = (*scoped)(nil)

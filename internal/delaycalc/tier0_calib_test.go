@@ -1,0 +1,252 @@
+package delaycalc
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"xtalksta/internal/netlist"
+	"xtalksta/internal/waveform"
+)
+
+// TestTier0CalibrationReport regenerates the tier-0 envelope table
+// (tier0_bands.go) against the live Newton kernel. It sweeps a wide
+// grid of primitive arcs, measures the exact results, and for each
+// calibration class (t0Key: kind, fan-in, pin, direction, coupled,
+// slew/RC regime) fits the tightest shared-slope linear envelope
+//
+//	aLo·base + b·slew ≤ measured ≤ aHi·base + b·slew
+//
+// then widens it by the headroom below. Classes with too few samples
+// to trust are dropped (tier-0 simply stays off for those arcs).
+// Skipped in normal runs — it is a generator, not a check; the checks
+// live in tier0_test.go. Run with
+//
+//	TIER0_CALIB=1 go test -run Tier0CalibrationReport -v ./internal/delaycalc/
+//
+// and paste the printed table into tier0_bands.go when the device
+// models, sizing or simulation kernel change enough to shift ratios.
+func TestTier0CalibrationReport(t *testing.T) {
+	if os.Getenv("TIER0_CALIB") == "" {
+		t.Skip("calibration generator; set TIER0_CALIB=1 to run")
+	}
+	c := newCalc(t, Options{DisableCache: true})
+
+	type gate struct {
+		kind netlist.GateKind
+		nin  int
+		pins []int
+	}
+	gates := []gate{
+		{netlist.INV, 1, []int{0}},
+		{netlist.NAND, 2, []int{0, 1}},
+		{netlist.NAND, 3, []int{0, 1, 2}},
+		{netlist.NOR, 2, []int{0, 1}},
+		{netlist.NOR, 3, []int{0, 1, 2}},
+	}
+	// The grid spans the tier0Cal* domain (tier0.go): Tier0Bounds
+	// refuses anything outside its interior, so every request the
+	// envelopes can reach is interpolated, never extrapolated.
+	slews := []float64{tier0CalSlewMin, 0.06e-9, 0.1e-9, 0.15e-9, 0.25e-9,
+		0.45e-9, 0.7e-9, 1.0e-9, 1.4e-9, 2.0e-9, tier0CalSlewMax}
+	loads := []float64{tier0CalLoadMin, 5e-15, 15e-15, 40e-15, 90e-15,
+		180e-15, 280e-15, 400e-15, tier0CalLoadMax}
+	// Real extracted nets couple anywhere from a percent of their
+	// grounded load up to domination by one aggressor, so the grid spans
+	// both ends; the small fractions keep the coupled-class envelopes
+	// honest where the coupling event barely perturbs the response.
+	coupledFracs := []float64{0.01, 0.03, 0.08, 0.15, 0.25, 0.5, 0.85}
+
+	// One calibration sample: measured result vs analytic bases.
+	type sample struct {
+		res  Result
+		base tier0Base
+		slew float64
+	}
+	classes := map[t0Key][]sample{}
+	add := func(r Request) {
+		base, ok := c.tier0Base(r)
+		if !ok {
+			t.Fatalf("no analytic base for %+v", r)
+		}
+		res, err := c.Eval(r)
+		if err != nil {
+			t.Fatalf("eval %+v: %v", r, err)
+		}
+		k := t0Key{kind: r.Kind, nin: r.NIn, pin: r.Pin, dir: r.Dir,
+			coupled: base.coupled, regime: tier0Regime(r.InSlew, base.slew)}
+		classes[k] = append(classes[k], sample{res, base, r.InSlew})
+	}
+
+	for _, g := range gates {
+		for _, pin := range g.pins {
+			for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+				sizes := []float64{1}
+				if g.kind == netlist.INV {
+					sizes = []float64{1, 4} // clock buffers
+				}
+				for _, size := range sizes {
+					for _, slew := range slews {
+						for _, load := range loads {
+							// Uncoupled lumped.
+							add(Request{Kind: g.kind, NIn: g.nin, Pin: pin, Dir: dir,
+								InSlew: slew, CLoad: load, SizeMult: size})
+							// Coupled lumped.
+							for _, frac := range coupledFracs {
+								add(Request{Kind: g.kind, NIn: g.nin, Pin: pin, Dir: dir,
+									InSlew: slew, CLoad: load * (1 - frac), CCouple: load * frac,
+									SizeMult: size})
+							}
+						}
+					}
+					// π-model points (resistive shielding).
+					for _, slew := range []float64{0.1e-9, 0.45e-9} {
+						for _, load := range []float64{20e-15, 90e-15} {
+							for _, frac := range []float64{0, 0.5} {
+								for _, rw := range []float64{300, 1500} {
+									add(Request{Kind: g.kind, NIn: g.nin, Pin: pin, Dir: dir,
+										InSlew: slew, CLoad: load * 0.3,
+										CFar:    load * 0.7 * (1 - frac),
+										CCouple: load * 0.7 * frac,
+										RWire:   rw, SizeMult: size})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// fit finds the tightest shared-slope envelope for one metric over
+	// one class and returns it with headroom applied.
+	fit := func(samples []sample, metric func(sample) (m, base float64)) t0Band {
+		bestW := math.Inf(1)
+		var best t0Band
+		for bi := -50; bi <= 50; bi++ {
+			b := float64(bi) * 0.02
+			aLo, aHi := math.Inf(1), math.Inf(-1)
+			for _, s := range samples {
+				m, base := metric(s)
+				a := (m - b*s.slew) / base
+				aLo = math.Min(aLo, a)
+				aHi = math.Max(aHi, a)
+			}
+			if w := aHi - aLo; w < bestW {
+				bestW = w
+				best = t0Band{aLo: aLo, bLo: b, aHi: aHi, bHi: b}
+			}
+		}
+		pad := 0.25*(best.aHi-best.aLo) +
+			0.05*math.Max(math.Abs(best.aLo), math.Abs(best.aHi)) + 0.02
+		best.aLo -= pad
+		best.aHi += pad
+		return best
+	}
+
+	// minSamples guards against overfitting a sparse regime bin to a
+	// deceptively narrow (unsound off-grid) envelope.
+	const minSamples = 8
+
+	keys := make([]t0Key, 0, len(classes))
+	for k := range classes {
+		if len(classes[k]) >= minSamples {
+			keys = append(keys, k)
+		} else {
+			t.Logf("dropping %+v: only %d samples", k, len(classes[k]))
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.nin != b.nin {
+			return a.nin < b.nin
+		}
+		if a.pin != b.pin {
+			return a.pin < b.pin
+		}
+		if a.dir != b.dir {
+			return a.dir < b.dir
+		}
+		if a.coupled != b.coupled {
+			return !a.coupled
+		}
+		return a.regime < b.regime
+	})
+
+	kindName := func(k netlist.GateKind) string {
+		switch k {
+		case netlist.INV:
+			return "netlist.INV"
+		case netlist.NAND:
+			return "netlist.NAND"
+		case netlist.NOR:
+			return "netlist.NOR"
+		}
+		return fmt.Sprintf("netlist.GateKind(%d)", k)
+	}
+	dirName := func(d waveform.Direction) string {
+		if d == waveform.Rising {
+			return "waveform.Rising"
+		}
+		return "waveform.Falling"
+	}
+
+	var sb strings.Builder
+	worst := 0.0
+	sb.WriteString("var tier0Bands = map[t0Key]t0Env{\n")
+	for _, k := range keys {
+		ss := classes[k]
+		d := fit(ss, func(s sample) (float64, float64) { return s.res.Delay, s.base.delay })
+		sl := fit(ss, func(s sample) (float64, float64) { return s.res.OutSlew, s.base.slew })
+		tr := fit(ss, func(s sample) (float64, float64) { return s.res.TimeToRestart, s.base.ttr })
+		cp := fit(ss, func(s sample) (float64, float64) { return s.res.Completion, s.base.completion })
+		fmt.Fprintf(&sb, "\t{%s, %d, %d, %s, %v, %d}: {\n",
+			kindName(k.kind), k.nin, k.pin, dirName(k.dir), k.coupled, k.regime)
+		band := func(name string, b t0Band) {
+			fmt.Fprintf(&sb, "\t\t%s: t0Band{aLo: %.4f, bLo: %.2f, aHi: %.4f, bHi: %.2f},\n",
+				name, b.aLo, b.bLo, b.aHi, b.bHi)
+		}
+		band("delay", d)
+		band("slew", sl)
+		band("ttr", tr)
+		band("completion", cp)
+		sb.WriteString("\t},\n")
+		if r := d.aHi / math.Max(d.aLo, 1e-9); r > worst {
+			worst = r
+		}
+		t.Logf("%+v: %d samples, delay [%.3f, %.3f] b=%.2f", k, len(ss), d.aLo, d.aHi, d.bLo)
+	}
+	sb.WriteString("}\n")
+	t.Logf("worst delay hi/lo ratio: %.2f", worst)
+	if os.Getenv("TIER0_CALIB_WRITE") != "" {
+		const header = `package delaycalc
+
+// Code generated by TestTier0CalibrationReport (TIER0_CALIB=1
+// TIER0_CALIB_WRITE=1); edit the generator, not this table.
+//
+// tier0Bands is the calibrated envelope table consumed by Tier0Bounds.
+// An absent class simply disables the fast tier for matching arcs
+// (Tier0Bounds returns ok=false), so a stale or partial table degrades
+// performance, never correctness; the soundness property test in
+// tier0_test.go guards the entries that do exist.
+
+import (
+	"xtalksta/internal/netlist"
+	"xtalksta/internal/waveform"
+)
+
+`
+		if err := os.WriteFile("tier0_bands.go", []byte(header+sb.String()), 0o644); err != nil {
+			t.Fatalf("writing tier0_bands.go: %v", err)
+		}
+		t.Log("wrote tier0_bands.go")
+	} else {
+		t.Logf("generated table:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,167 @@
+package delaycalc
+
+import (
+	"math"
+	"testing"
+
+	"xtalksta/internal/netlist"
+	"xtalksta/internal/waveform"
+)
+
+// TestTier0BoundsSoundProperty is the tier-0 soundness contract: for
+// every primitive arc the calculator can bound, the exact Newton result
+// lies inside the analytic brackets — lower ≤ Newton ≤ upper for delay,
+// output slew, time-to-restart and completion. The sweep deliberately
+// uses slews/loads/coupling fractions off the calibration grid
+// (tier0_calib_test.go), so it checks the envelopes generalize, not
+// that they memorized their own fit points. Runs in both cache modes:
+// with the cache enabled the brackets must cover the quantized
+// representative's result (what Eval actually serves), uncached the raw
+// request's.
+func TestTier0BoundsSoundProperty(t *testing.T) {
+	type gate struct {
+		kind netlist.GateKind
+		nin  int
+		pins []int
+	}
+	gates := []gate{
+		{netlist.INV, 1, []int{0}},
+		{netlist.NAND, 2, []int{0, 1}},
+		{netlist.NAND, 3, []int{1}},
+		{netlist.NOR, 2, []int{0, 1}},
+		{netlist.NOR, 3, []int{2}},
+	}
+	slews := []float64{0.08e-9, 0.3e-9, 0.55e-9}
+	loads := []float64{12e-15, 70e-15, 130e-15}
+	fracs := []float64{0, 0.06, 0.33, 0.6}
+
+	for _, disable := range []bool{false, true} {
+		c := newCalc(t, Options{DisableCache: disable})
+		checked, bounded := 0, 0
+		for _, g := range gates {
+			for _, pin := range g.pins {
+				for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+					for _, slew := range slews {
+						for _, load := range loads {
+							for _, frac := range fracs {
+								r := Request{
+									Kind: g.kind, NIn: g.nin, Pin: pin, Dir: dir,
+									InSlew:  slew,
+									CLoad:   load * (1 - frac),
+									CCouple: load * frac,
+								}
+								checked++
+								b, ok := c.Tier0Bounds(r)
+								if !ok {
+									continue // no fast tier for this arc: fine
+								}
+								bounded++
+								res, err := c.Eval(r)
+								if err != nil {
+									t.Fatalf("eval %+v: %v", r, err)
+								}
+								chk := func(name string, lo, v, hi float64) {
+									if v < lo || v > hi {
+										t.Errorf("%s%d pin %d %s slew %.2g load %.2g cc %.0f%% cache=%v: %s %.4g outside [%.4g, %.4g]",
+											g.kind, g.nin, pin, dir, slew, load, 100*frac, !disable, name, v, lo, hi)
+									}
+								}
+								chk("delay", b.DelayLo, res.Delay, b.DelayHi)
+								chk("slew", b.SlewLo, res.OutSlew, b.SlewHi)
+								chk("ttr", b.TTRLo, res.TimeToRestart, b.TTRHi)
+								chk("completion", b.CompletionLo, res.Completion, b.CompletionHi)
+							}
+						}
+					}
+				}
+			}
+		}
+		if bounded*2 < checked {
+			t.Errorf("cache=%v: only %d/%d arcs analytically bounded — tier-0 coverage collapsed", !disable, bounded, checked)
+		}
+		t.Logf("cache=%v: %d/%d arcs bounded and sound", !disable, bounded, checked)
+	}
+}
+
+// TestTier0MergedHullSound pins the bracket shape the engine's
+// OneStep/Iterative dispatcher relies on: those modes can issue a final
+// request with ANY coupling subset active, so the engine brackets the
+// arc with the hull of the two extreme configurations — all coupling
+// grounded vs all coupling active. This test checks that hull actually
+// covers the exact result at intermediate activation fractions, which
+// the per-request soundness property above cannot see (the engine never
+// audits a dominance-skipped arc at runtime, so the hull's coverage
+// must hold by construction).
+func TestTier0MergedHullSound(t *testing.T) {
+	type gate struct {
+		kind netlist.GateKind
+		nin  int
+		pin  int
+	}
+	gates := []gate{
+		{netlist.INV, 1, 0},
+		{netlist.NAND, 2, 0},
+		{netlist.NAND, 3, 1},
+		{netlist.NOR, 2, 1},
+		{netlist.NOR, 3, 2},
+	}
+	slews := []float64{0.1e-9, 0.35e-9, 0.7e-9}
+	bases := []float64{10e-15, 50e-15, 100e-15}
+	ccs := []float64{10e-15, 40e-15, 80e-15}
+	fracs := []float64{0, 0.25, 0.5, 0.75, 1}
+
+	c := newCalc(t, Options{})
+	checked := 0
+	for _, g := range gates {
+		for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+			for _, slew := range slews {
+				for _, base := range bases {
+					for _, cc := range ccs {
+						proto := Request{Kind: g.kind, NIn: g.nin, Pin: g.pin, Dir: dir, InSlew: slew}
+						grounded := proto
+						grounded.CLoad = base + cc
+						coupled := proto
+						coupled.CLoad = base
+						coupled.CCouple = cc
+						bg, okG := c.Tier0Bounds(grounded)
+						bw, okW := c.Tier0Bounds(coupled)
+						if !okG || !okW {
+							continue // no fast tier: the engine falls back
+						}
+						hull := Bounds{
+							DelayLo:      math.Min(bg.DelayLo, bw.DelayLo),
+							DelayHi:      math.Max(bg.DelayHi, bw.DelayHi),
+							SlewLo:       math.Min(bg.SlewLo, bw.SlewLo),
+							SlewHi:       math.Max(bg.SlewHi, bw.SlewHi),
+							CompletionLo: math.Min(bg.CompletionLo, bw.CompletionLo),
+							CompletionHi: math.Max(bg.CompletionHi, bw.CompletionHi),
+						}
+						for _, frac := range fracs {
+							r := proto
+							r.CLoad = base + (1-frac)*cc
+							r.CCouple = frac * cc
+							res, err := c.Eval(r)
+							if err != nil {
+								t.Fatalf("eval %+v: %v", r, err)
+							}
+							checked++
+							chk := func(name string, lo, v, hi float64) {
+								if v < lo || v > hi {
+									t.Errorf("%s%d pin %d %s slew %.2g base %.2g cc %.2g frac %.2f: %s %.4g outside hull [%.4g, %.4g]",
+										g.kind, g.nin, g.pin, dir, slew, base, cc, frac, name, v, lo, hi)
+								}
+							}
+							chk("delay", hull.DelayLo, res.Delay, hull.DelayHi)
+							chk("slew", hull.SlewLo, res.OutSlew, hull.SlewHi)
+							chk("completion", hull.CompletionLo, res.Completion, hull.CompletionHi)
+						}
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no arc had both extreme configurations bounded")
+	}
+	t.Logf("%d intermediate-fraction evaluations inside the merged hull", checked)
+}

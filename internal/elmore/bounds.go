@@ -1,0 +1,63 @@
+// Closed-form one-pole response timing, the analytical core of the
+// tier-0 delay bounds (DESIGN.md §14). A stage driving its lumped load
+// behaves, to first order, like a single-pole RC step response; the
+// coupling model's instantaneous divider event (coupling package, §2 of
+// the paper) splits that response into two one-pole segments. These
+// helpers give exact crossing times for that idealized response —
+// "Improved Analytical Delay Models for RC-Coupled Interconnects"
+// (arXiv:1304.0835) derives the same ln-ratio forms as the leading term
+// of the coupled-line solution. They are estimates of the transistor-
+// level Newton result, never replacements: delaycalc wraps them in
+// calibrated envelopes and everything ambiguous falls through to the
+// exact simulation.
+package elmore
+
+import "math"
+
+// OnePoleCross returns the time a one-pole response
+//
+//	v(t) = vinf + (v0 − vinf)·exp(−t/rc)
+//
+// takes to reach v1, with ok=false when the response never crosses v1
+// (v1 not strictly between v0 and vinf) or rc is not positive. The same
+// form serves rising (v0 < v1 ≤ vinf) and falling (vinf ≤ v1 < v0)
+// transitions.
+func OnePoleCross(rc, v0, vinf, v1 float64) (float64, bool) {
+	num := vinf - v0
+	den := vinf - v1
+	if rc <= 0 || num == 0 || den == 0 {
+		return 0, false
+	}
+	ratio := num / den
+	if ratio < 1 {
+		return 0, false
+	}
+	return rc * math.Log(ratio), true
+}
+
+// StepMid returns the 50%-swing crossing time of a full-swing one-pole
+// step response: rc·ln 2.
+func StepMid(rc float64) float64 { return rc * math.Ln2 }
+
+// StepCompletion returns the 95%-swing crossing time of a full-swing
+// one-pole step response: rc·ln 20.
+func StepCompletion(rc float64) float64 { return rc * math.Log(20) }
+
+// CoupledCross returns the v1 crossing time of a one-pole response from
+// v0 toward vinf that suffers the paper's coupling event: the instant
+// the node first crosses trigger it is reset to restart (the worst-case
+// aggressor step through the capacitive divider), after which it decays
+// toward the same asymptote. The pre-event segment runs v0→trigger and
+// the post-event segment restart→v1; ok=false when either segment's
+// crossing does not exist.
+func CoupledCross(rc, v0, vinf, trigger, restart, v1 float64) (float64, bool) {
+	t1, ok := OnePoleCross(rc, v0, vinf, trigger)
+	if !ok {
+		return 0, false
+	}
+	t2, ok := OnePoleCross(rc, restart, vinf, v1)
+	if !ok {
+		return 0, false
+	}
+	return t1 + t2, true
+}

@@ -19,6 +19,12 @@ type Row struct {
 	// Passes and Evaluations add reproduction detail beyond the paper.
 	Passes      int
 	Evaluations int64
+	// Tier0Evals counts evaluator calls the tiered dispatcher avoided
+	// and NewtonEvals the exact evaluations actually dispatched (equal
+	// to Evaluations; kept separate so bench rows attribute both sides
+	// of the tier split). Zero / equal to Evaluations with tier-0 off.
+	Tier0Evals  int64
+	NewtonEvals int64
 }
 
 // Table mirrors one of the paper's Tables 1–3.
