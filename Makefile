@@ -2,7 +2,13 @@ GO ?= go
 
 # Output file of the bench-json target; override per PR or in CI, e.g.
 #   make bench-json BENCH_OUT=BENCH_ci.json
-BENCH_OUT ?= BENCH_pr9.json
+BENCH_OUT ?= BENCH_pr10.json
+
+# Circuit scale of the bench-json run. 1 = the paper's actual cell
+# counts (s35932: 17.9k cells) — the default since the memory-layout
+# overhaul; the recorded env block pins scale+cells so benchdiff
+# refuses cross-scale comparisons.
+BENCH_SCALE ?= 1
 
 # Worker goroutines for the bench-json run (the wavefront scheduler's
 # headline numbers are parallel; set 0 for the sequential reference).
@@ -21,7 +27,12 @@ LOAD_CONCURRENCY ?= 8
 BENCH_BASELINE ?= ci/bench_baseline.json
 BENCH_TOL ?= 0.5
 
-.PHONY: all check ci fmt-check vet staticcheck build test race race-server metrics-lint bench bench-json bench-gate bench-ablation clean
+# Allowed peak-memory (max_rss_bytes) growth in percent before the
+# bench gate fails. Memory is a deterministic function of the data
+# layout, so the tolerance only absorbs GC/runtime timing variance.
+BENCH_MEM_TOL ?= 25
+
+.PHONY: all check ci fmt-check vet staticcheck build test race race-server metrics-lint bench bench-json bench-gate bench-ablation bench-100k clean
 
 all: check
 
@@ -30,7 +41,7 @@ all: check
 check: vet build test race race-server
 
 # Everything CI runs, reproducible locally with one command.
-ci: fmt-check vet staticcheck build test race race-server metrics-lint bench-gate bench-ablation
+ci: fmt-check vet staticcheck build test race race-server metrics-lint bench-gate bench-ablation bench-100k
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -87,7 +98,7 @@ bench:
 # adds the serial-vs-concurrent AnalyzeAll wall-clock comparison
 # (DESIGN.md §11) as the optional "sweep" block.
 bench-json:
-	$(GO) run ./cmd/xtalksta -preset s35932 -scale 0.05 -workers $(BENCH_WORKERS) -sweep-bench -json $(BENCH_OUT)
+	$(GO) run ./cmd/xtalksta -preset s35932 -scale $(BENCH_SCALE) -workers $(BENCH_WORKERS) -sweep-bench -json $(BENCH_OUT)
 	$(GO) run ./cmd/xtalkload -cells $(LOAD_CELLS) -duration $(LOAD_DURATION) -concurrency $(LOAD_CONCURRENCY) -merge $(BENCH_OUT)
 
 # Regression gate: run the small preset and compare each mode's delay
@@ -99,7 +110,14 @@ bench-json:
 bench-gate:
 	$(GO) run ./cmd/xtalksta -preset s35932 -scale 0.02 -json BENCH_gate.json >/dev/null
 	$(GO) run ./cmd/xtalkload -cells $(LOAD_CELLS) -duration 2s -concurrency 4 -merge BENCH_gate.json
-	$(GO) run ./cmd/benchdiff -base $(BENCH_BASELINE) -new BENCH_gate.json -tol $(BENCH_TOL)
+	$(GO) run ./cmd/benchdiff -base $(BENCH_BASELINE) -new BENCH_gate.json -tol $(BENCH_TOL) -mem-tol $(BENCH_MEM_TOL)
+
+# Capacity leg: the 100k-cell synthetic preset must compile and finish
+# one Iterative analysis (DESIGN.md §15; the ROADMAP's scale target).
+# ~2 minutes; runs in CI so memory-layout regressions that only show
+# past paper scale are caught at the gate.
+bench-100k:
+	$(GO) run ./cmd/xtalksta -preset synth100k -mode iterative >/dev/null
 
 # Tier-0 exactness ablation: run the preset all-Newton and with the
 # tiered dispatcher (the CLI default) and diff at zero tolerance.

@@ -11,7 +11,12 @@
 //
 // Runtime and arc-evaluation counts are reported but never gated: they
 // vary with hardware and scheduling. Delays are pure functions of the
-// design and must not move.
+// design and must not move. Peak memory (max_rss_bytes) gates hard at
+// -mem-tol percent growth — the data layout determines it, so a
+// regression there is a code change, not noise; compile_ms is reported
+// warn-only. When both files record the circuit size (env cells/scale)
+// a mismatch refuses the comparison: drift across scales is
+// meaningless.
 //
 // The optional "latency" (analysis percentiles from `xtalksta -json`)
 // and "server" (daemon percentiles/throughput from `xtalkload -merge`)
@@ -42,14 +47,25 @@ type benchEnv struct {
 	Workers     int    `json:"workers"`
 	Scheduler   string `json:"scheduler"`
 	GitRevision string `json:"git_revision"`
+	// Scale and Cells pin the circuit size (absent/zero in older
+	// files). When both files record Cells, a mismatch refuses the
+	// comparison outright — drift numbers across different circuit
+	// sizes are meaningless.
+	Scale float64 `json:"scale"`
+	Cells int     `json:"cells"`
 }
 
 type benchFile struct {
 	Circuit string `json:"circuit"`
 	// Env is absent in files written before environment recording; the
 	// header then flags the comparison as unattributed.
-	Env  *benchEnv `json:"env"`
-	Rows []struct {
+	Env *benchEnv `json:"env"`
+	// CompileMs and MaxRSSBytes are the build wall time and peak
+	// resident set (absent/zero in older files). Memory gates
+	// hard at -mem-tol; compile time diffs warn-only (wall clock).
+	CompileMs   float64 `json:"compile_ms"`
+	MaxRSSBytes int64   `json:"max_rss_bytes"`
+	Rows        []struct {
 		Method      string  `json:"method"`
 		DelayNs     float64 `json:"delay_ns"`
 		RuntimeMs   float64 `json:"runtime_ms"`
@@ -70,8 +86,26 @@ func envString(f *benchFile) string {
 		return "(no environment recorded)"
 	}
 	e := f.Env
-	return fmt.Sprintf("%s gomaxprocs=%d workers=%d sched=%s rev=%s",
+	s := fmt.Sprintf("%s gomaxprocs=%d workers=%d sched=%s rev=%s",
 		e.GoVersion, e.GOMAXPROCS, e.Workers, e.Scheduler, e.GitRevision)
+	if e.Cells > 0 {
+		s += fmt.Sprintf(" cells=%d scale=%g", e.Cells, e.Scale)
+	}
+	return s
+}
+
+// checkSameCircuitSize refuses to compare bench files recorded at
+// different circuit sizes. Only enforced when both files carry the
+// size (older baselines predate the env cells/scale fields).
+func checkSameCircuitSize(base, cand *benchFile) error {
+	if base.Env == nil || cand.Env == nil || base.Env.Cells == 0 || cand.Env.Cells == 0 {
+		return nil
+	}
+	if base.Env.Cells != cand.Env.Cells || base.Env.Scale != cand.Env.Scale {
+		return fmt.Errorf("circuit size mismatch: base has %d cells (scale %g), candidate %d cells (scale %g) — refusing to compare across scales",
+			base.Env.Cells, base.Env.Scale, cand.Env.Cells, cand.Env.Scale)
+	}
+	return nil
 }
 
 func load(path string) (*benchFile, error) {
@@ -241,6 +275,7 @@ func main() {
 	basePath := flag.String("base", "", "baseline bench JSON")
 	newPath := flag.String("new", "", "candidate bench JSON")
 	tol := flag.Float64("tol", 0.5, "allowed per-mode delay drift in percent")
+	memTol := flag.Float64("mem-tol", 25, "allowed max_rss_bytes growth in percent (hard-fails like delay drift; shrinking never fails)")
 	latTol := flag.Float64("lat-tol", 25, "warn threshold in percent for the latency/server sections (never fails)")
 	metricsMode := flag.Bool("metrics", false, "diff two metrics-registry dumps (xtalksta -metrics) instead of bench results; informational, never fails")
 	flag.Parse()
@@ -273,6 +308,10 @@ func main() {
 
 	fmt.Printf("base: %s  %s\n", *basePath, envString(base))
 	fmt.Printf("new:  %s  %s\n", *newPath, envString(cand))
+	if err := checkSameCircuitSize(base, cand); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
 
 	fail := false
 	fmt.Printf("%-22s %12s %12s %9s\n", "mode", "base ns", "new ns", "drift %")
@@ -311,6 +350,28 @@ func main() {
 	diffWarnOnly("arc_evaluations", baseEvals, candEvals, *latTol)
 	diffWarnOnly("latency", base.Latency, cand.Latency, *latTol)
 	diffWarnOnly("server", base.Server, cand.Server, *latTol)
+
+	// Peak-memory gate: growth beyond -mem-tol fails like delay drift
+	// (memory is a deterministic function of the data layout on a given
+	// platform, modulo GC timing the tolerance absorbs). Shrinking is
+	// always fine. compile_ms diffs warn-only above: wall clock on
+	// shared hardware explains drift but never gates.
+	if base.MaxRSSBytes > 0 && cand.MaxRSSBytes > 0 {
+		growth := 100 * (float64(cand.MaxRSSBytes) - float64(base.MaxRSSBytes)) / float64(base.MaxRSSBytes)
+		mark := ""
+		if growth > *memTol {
+			mark = "  REGRESSION"
+			fail = true
+		}
+		fmt.Printf("\nmax_rss: %.1f -> %.1f MiB (%+.1f%%, tol %.0f%%)%s\n",
+			float64(base.MaxRSSBytes)/(1<<20), float64(cand.MaxRSSBytes)/(1<<20), growth, *memTol, mark)
+	} else if base.MaxRSSBytes == 0 && cand.MaxRSSBytes > 0 {
+		fmt.Printf("\nmax_rss: no baseline; candidate %d bytes (recorded, not gated)\n", cand.MaxRSSBytes)
+	}
+	if base.CompileMs > 0 && cand.CompileMs > 0 {
+		diffWarnOnly("compile", map[string]float64{"compile_ms": base.CompileMs},
+			map[string]float64{"compile_ms": cand.CompileMs}, *latTol)
+	}
 	if fail {
 		fmt.Fprintf(os.Stderr, "benchdiff: delays drifted beyond %.2f%% of %s\n", *tol, *basePath)
 		os.Exit(1)

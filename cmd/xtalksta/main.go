@@ -250,10 +250,12 @@ func run() error {
 	bopts.Calc.LTETol = *lteTol
 	bopts.Calc.CacheShards = *cacheShards
 	bopts.Calc.FixedGrid = *fixedGrid
+	buildStart := time.Now()
 	d, title, err := buildDesign(*benchPath, *spefPath, *preset, *scale, *cells, *dffs, *depth, *seed, bopts)
 	if err != nil {
 		return err
 	}
+	compileMs := float64(time.Since(buildStart)) / 1e6
 	st, err := d.Stats()
 	if err != nil {
 		return err
@@ -397,7 +399,11 @@ func run() error {
 			sweep.SerialMs, sweep.ParallelMs, sweep.Ratio)
 	}
 	if *jsonPath != "" {
-		if err := writeTableJSON(*jsonPath, title, st, table, *workers, scheduler, sweep, reg); err != nil {
+		jsonScale := 0.0 // 0 = not a preset run; scale is preset-relative
+		if *preset != "" {
+			jsonScale = *scale
+		}
+		if err := writeTableJSON(*jsonPath, title, st, table, *workers, scheduler, jsonScale, compileMs, sweep, reg); err != nil {
 			return err
 		}
 	}
@@ -514,13 +520,18 @@ func writeFileWith(path string, write func(w io.Writer) error) error {
 }
 
 // benchEnv identifies the environment a bench JSON was recorded in, so
-// benchdiff can refuse-or-flag cross-environment comparisons.
+// benchdiff can refuse-or-flag cross-environment comparisons. Scale
+// and Cells pin the circuit size: benchdiff hard-fails when they
+// differ between baseline and candidate, so cross-PR comparisons can't
+// silently mix scales (Scale is 0 for non-preset runs).
 type benchEnv struct {
-	GoVersion   string `json:"go_version"`
-	GOMAXPROCS  int    `json:"gomaxprocs"`
-	Workers     int    `json:"workers"`
-	Scheduler   string `json:"scheduler"`
-	GitRevision string `json:"git_revision"`
+	GoVersion   string  `json:"go_version"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Workers     int     `json:"workers"`
+	Scheduler   string  `json:"scheduler"`
+	GitRevision string  `json:"git_revision"`
+	Scale       float64 `json:"scale"`
+	Cells       int     `json:"cells"`
 }
 
 // gitRevision resolves the source revision: the build info's VCS stamp
@@ -639,8 +650,18 @@ func buildLatencyBlock(reg *xtalksta.MetricsRegistry) *latencyBlock {
 	return lb
 }
 
+// maxRSSBytes reads the process's peak resident set size. Getrusage
+// reports Maxrss in KiB on Linux; 0 means the platform gave nothing.
+func maxRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss * 1024
+}
+
 // writeTableJSON emits the machine-readable all-modes summary (-json).
-func writeTableJSON(path, title string, st netlist.Stats, table *xtalksta.Table, workers int, sched xtalksta.Scheduler, sweep *sweepBenchResult, reg *xtalksta.MetricsRegistry) error {
+func writeTableJSON(path, title string, st netlist.Stats, table *xtalksta.Table, workers int, sched xtalksta.Scheduler, scale, compileMs float64, sweep *sweepBenchResult, reg *xtalksta.MetricsRegistry) error {
 	type row struct {
 		Method      string  `json:"method"`
 		DelayNs     float64 `json:"delay_ns"`
@@ -651,18 +672,24 @@ func writeTableJSON(path, title string, st netlist.Stats, table *xtalksta.Table,
 		NewtonEvals int64   `json:"newton_evals"`
 	}
 	out := struct {
-		Circuit  string            `json:"circuit"`
-		Cells    int               `json:"cells"`
-		DFFs     int               `json:"dffs"`
-		Nets     int               `json:"nets"`
-		Depth    int               `json:"logic_depth"`
-		Env      benchEnv          `json:"env"`
-		Rows     []row             `json:"rows"`
-		GoldenNs float64           `json:"golden_ns,omitempty"`
-		Sweep    *sweepBenchResult `json:"sweep,omitempty"`
-		Latency  *latencyBlock     `json:"latency,omitempty"`
+		Circuit string   `json:"circuit"`
+		Cells   int      `json:"cells"`
+		DFFs    int      `json:"dffs"`
+		Nets    int      `json:"nets"`
+		Depth   int      `json:"logic_depth"`
+		Env     benchEnv `json:"env"`
+		// CompileMs is the design-build wall time (generate + place +
+		// route + extract); MaxRSSBytes the process's peak resident
+		// set at write time. Both are gated by benchdiff -mem-tol.
+		CompileMs   float64           `json:"compile_ms"`
+		MaxRSSBytes int64             `json:"max_rss_bytes"`
+		Rows        []row             `json:"rows"`
+		GoldenNs    float64           `json:"golden_ns,omitempty"`
+		Sweep       *sweepBenchResult `json:"sweep,omitempty"`
+		Latency     *latencyBlock     `json:"latency,omitempty"`
 	}{Circuit: title, Cells: st.Cells, DFFs: st.DFFs, Nets: st.Nets,
 		Depth: st.LogicDepth, GoldenNs: table.GoldenNs, Sweep: sweep,
+		CompileMs: compileMs, MaxRSSBytes: maxRSSBytes(),
 		Latency: buildLatencyBlock(reg),
 		Env: benchEnv{
 			GoVersion:   runtime.Version(),
@@ -670,6 +697,8 @@ func writeTableJSON(path, title string, st netlist.Stats, table *xtalksta.Table,
 			Workers:     workers,
 			Scheduler:   sched.String(),
 			GitRevision: gitRevision(),
+			Scale:       scale,
+			Cells:       st.Cells,
 		}}
 	for _, r := range table.Rows {
 		out.Rows = append(out.Rows, row{

@@ -369,11 +369,14 @@ func InsertClockTree(c *netlist.Circuit, branching int) error {
 // Preset identifies one of the paper's benchmark circuits.
 type Preset string
 
-// The three ISCAS89 circuits of the paper's Tables 1–3.
+// The three ISCAS89 circuits of the paper's Tables 1–3, plus a
+// synthetic 100k-cell design exercising the dense-id/arena memory
+// model (DESIGN.md §15) at the ROADMAP's target scale.
 const (
 	S35932Like Preset = "s35932"
 	S38417Like Preset = "s38417"
 	S38584Like Preset = "s38584"
+	Synth100k  Preset = "synth100k"
 )
 
 // PresetParams returns generation parameters reproducing the statistics
@@ -399,6 +402,14 @@ func PresetParams(p Preset) (Params, error) {
 			Name: "s38584", Seed: 38584,
 			Cells: 20812, DFFs: 1426, PIs: 38, POs: 304,
 			Depth: 40, ClockFanout: 8,
+		}, nil
+	case Synth100k:
+		// The FF ratio and depth follow the s38417 profile scaled up;
+		// the cell count is the ROADMAP's 100k+ capacity target.
+		return Params{
+			Name: "synth100k", Seed: 100000,
+			Cells: 100000, DFFs: 6800, PIs: 64, POs: 440,
+			Depth: 36, ClockFanout: 8,
 		}, nil
 	}
 	return Params{}, fmt.Errorf("circuitgen: unknown preset %q", p)

@@ -1,7 +1,9 @@
 package circuitgen
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"xtalksta/internal/netlist"
 )
@@ -221,6 +223,51 @@ func TestFullPresetSizeGeneratesQuickly(t *testing.T) {
 	if st.DFFs != 1728 {
 		t.Errorf("DFFs = %d, want 1728", st.DFFs)
 	}
+}
+
+// TestSynth100kGeneration is the 100k-cell generation/memory smoke
+// test: the ROADMAP-scale preset must generate in seconds with heap
+// growth linear in the cell count (the dense-id pipeline is pointless
+// if the generator itself can't reach the sizes). Kept out of `go test
+// -short`; the full compile+analysis of this preset runs in the
+// `make bench-100k` CI leg, not here.
+func TestSynth100kGeneration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-cell generation in -short mode")
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	c, err := GeneratePreset(Synth100k, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	logicCells := st.Cells - st.ByKind[netlist.CLKBUF]
+	if logicCells != 100000 {
+		t.Errorf("logic cells = %d, want 100000 (clock buffers come on top)", logicCells)
+	}
+	if st.DFFs != 6800 {
+		t.Errorf("DFFs = %d, want 6800", st.DFFs)
+	}
+	if elapsed > 30*time.Second {
+		t.Errorf("generation took %v, want well under 30s", elapsed)
+	}
+	// Heap growth budget: ~2 KiB per cell covers the netlist's dense
+	// slices plus name strings with slack; a pointer-heavy regression
+	// multiplies this.
+	if grew := after.HeapAlloc - before.HeapAlloc; grew > uint64(st.Cells)*2048 {
+		t.Errorf("generation grew the heap by %d MiB for %d cells (budget %d MiB)",
+			grew>>20, st.Cells, uint64(st.Cells)*2048>>20)
+	}
+	t.Logf("generated %d cells (%d nets) in %v, heap +%d MiB",
+		st.Cells, st.Nets, elapsed, (after.HeapAlloc-before.HeapAlloc)>>20)
 }
 
 func BenchmarkGenerate2k(b *testing.B) {

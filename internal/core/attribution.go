@@ -320,8 +320,8 @@ func (e *Engine) attributeArc(mode Mode, st []netState, quietPrev [][2]float64,
 		if quiet, err = e.Calc.Eval(bcs); err != nil {
 			return
 		}
-		for _, cp := range inf.couplings {
-			aggs = append(aggs, AttributionAggressor{Net: e.C.Net(cp.Other).Name, C: cp.C})
+		for k := inf.ccLo; k < inf.ccHi; k++ {
+			aggs = append(aggs, AttributionAggressor{Net: e.C.Net(e.cc.Nbr[k]).Name, C: e.cc.C[k]})
 		}
 		return
 	case OneStep, Iterative:
@@ -342,12 +342,13 @@ func (e *Engine) attributeArc(mode Mode, st []netState, quietPrev [][2]float64,
 			}
 		}
 		ccActive := 0.0
-		for _, cp := range inf.couplings {
+		for k := inf.ccLo; k < inf.ccHi; k++ {
+			other, cval := e.cc.Nbr[k], e.cc.C[k]
 			var calculated bool
 			var quietAt float64
 			if quietPrev != nil {
 				calculated = true
-				quietAt = quietPrev[cp.Other-1][dAggressor]
+				quietAt = quietPrev[other-1][dAggressor]
 				if math.IsInf(quietAt, -1) {
 					calculated, quietAt = true, math.Inf(-1)
 				}
@@ -355,20 +356,20 @@ func (e *Engine) attributeArc(mode Mode, st []netState, quietPrev [][2]float64,
 				// Final-pass st is frozen, so the level rule reads the
 				// same quiescent values the sweep saw (lower-rank
 				// neighbors were final before this cell ran).
-				calculated = e.netCalculatedAt(cp.Other, e.netRank[out])
+				calculated = e.netCalculatedAt(other, e.netRank[out])
 				if calculated {
-					quietAt = st[cp.Other-1].quiet[dAggressor]
+					quietAt = st[other-1].quiet[dAggressor]
 				}
 			}
 			couples := coupling.ShouldCouple(calculated, quietAt, tBCS)
 			if couples && e.earliestStart != nil && quietPrev != nil {
-				if e.earliestStart[cp.Other-1][dAggressor] >= victimQuiet {
+				if e.earliestStart[other-1][dAggressor] >= victimQuiet {
 					couples = false
 				}
 			}
 			if couples {
-				ccActive += cp.C
-				aggs = append(aggs, AttributionAggressor{Net: e.C.Net(cp.Other).Name, C: cp.C})
+				ccActive += cval
+				aggs = append(aggs, AttributionAggressor{Net: e.C.Net(other).Name, C: cval})
 			}
 		}
 		if ccActive == 0 {

@@ -39,9 +39,20 @@ type Compiled struct {
 	// Per-phase dataflow dependency graphs for the wavefront scheduler;
 	// see dataflow.go. Immutable: runDataflow copies indeg per pass.
 	dfClock, dfMain *dfGraph
-	// clockSinks maps a clock net to the flip-flops it clocks, for
-	// dirty-cone expansion through launch seeding (eco.go).
-	clockSinks map[netlist.NetID][]netlist.CellID
+	// cc is the SoA coupling adjacency of the whole design (offsets +
+	// neighbor/capacitance arrays); netInfo spans index into it. The
+	// hot coupling-classification loops scan these flat arrays instead
+	// of per-net Coupling slices.
+	cc *netlist.CouplingCSR
+	// sink is the dense (cell, pin) → wire-delay table replacing the
+	// per-net SinkWireDelay map lookups on the arc path.
+	sink *netlist.SinkDelayCSR
+	// clockSinks is the CSR mapping a clock net to the flip-flops it
+	// clocks (span [clockSinkOff[id-1], clockSinkOff[id]) of
+	// clockSinkCells), for dirty-cone expansion through launch seeding
+	// (eco.go) and the min-pass clock sweep (windows.go).
+	clockSinkOff   []int32
+	clockSinkCells []netlist.CellID
 
 	// Compile key (see Matches).
 	poCap     float64
@@ -84,19 +95,47 @@ func Compile(c *netlist.Circuit, calc delaycalc.Evaluator, opts Options) (*Compi
 			cd.cellSizes[k] = v
 		}
 	}
+	cd.cc = c.BuildCouplingCSR()
+	cd.sink = c.BuildSinkDelayCSR()
 	if err := cd.buildNetInfo(); err != nil {
 		return nil, err
 	}
 	cd.buildEndpoints()
 	cd.buildLevels()
 	cd.buildDataflow()
-	cd.clockSinks = make(map[netlist.NetID][]netlist.CellID)
+	cd.buildClockSinks()
+	return cd, nil
+}
+
+// buildClockSinks indexes the flip-flops per clock net as a CSR
+// (counting pass, then fill), preserving cell order within each net.
+func (cd *Compiled) buildClockSinks() {
+	c := cd.C
+	cd.clockSinkOff = make([]int32, len(c.Nets)+1)
+	total := 0
 	for _, cell := range c.Cells {
 		if cell.Kind == netlist.DFF && cell.Clock != netlist.NoNet {
-			cd.clockSinks[cell.Clock] = append(cd.clockSinks[cell.Clock], cell.ID)
+			cd.clockSinkOff[cell.Clock]++
+			total++
 		}
 	}
-	return cd, nil
+	for i := 1; i < len(cd.clockSinkOff); i++ {
+		cd.clockSinkOff[i] += cd.clockSinkOff[i-1]
+	}
+	cd.clockSinkCells = make([]netlist.CellID, total)
+	fill := make([]int32, len(c.Nets))
+	for _, cell := range c.Cells {
+		if cell.Kind == netlist.DFF && cell.Clock != netlist.NoNet {
+			base := cd.clockSinkOff[cell.Clock-1]
+			cd.clockSinkCells[base+fill[cell.Clock-1]] = cell.ID
+			fill[cell.Clock-1]++
+		}
+	}
+}
+
+// clockSinksOf returns the flip-flops clocked by net id.
+func (cd *Compiled) clockSinksOf(id netlist.NetID) []netlist.CellID {
+	return cd.clockSinkCells[cd.clockSinkOff[id-1]:cd.clockSinkOff[id]]
 }
 
 // Matches reports whether the snapshot's compile key covers the given
@@ -155,7 +194,7 @@ func (cd *Compiled) buildNetInfo() error {
 		inf.cwire = n.Par.CWire
 		inf.rwire = n.Par.RWire
 		inf.sumCc = n.Par.TotalCoupling()
-		inf.couplings = n.Par.Couplings
+		inf.ccLo, inf.ccHi = cd.cc.Span(n.ID)
 		inf.sizeMult = 1
 		if n.Driver != netlist.NoCell {
 			inf.sizeMult = cd.sizeOf(n.Driver)

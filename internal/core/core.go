@@ -245,11 +245,13 @@ type netState struct {
 
 // netInfo is the pass-invariant electrical summary of a net.
 type netInfo struct {
-	baseCap       float64 // grounded load excluding coupling caps
-	cwire         float64 // wire portion of baseCap
-	rwire         float64 // wire resistance (π-model extension)
-	sumCc         float64
-	couplings     []netlist.Coupling
+	baseCap float64 // grounded load excluding coupling caps
+	cwire   float64 // wire portion of baseCap
+	rwire   float64 // wire resistance (π-model extension)
+	sumCc   float64
+	// ccLo/ccHi span the net's entries in the compiled coupling CSR
+	// (Compiled.cc) — the SoA replacement for a per-net []Coupling.
+	ccLo, ccHi    int32
 	sizeMult      float64
 	maxSinkElmore float64
 	driverKind    netlist.GateKind
@@ -345,6 +347,15 @@ type Engine struct {
 	// finish/Report is never pooled, and ReplayState copies are
 	// independent).
 	statePool [][]netState
+	// Session scratch arenas (driver goroutine only), recycled across
+	// passes and runs so steady-state analysis allocates no per-pass
+	// O(nets) scratch: seenBits deduplicates coupled-victim walks
+	// (callers must clear the bits they set), coneBuf/coneQueue back
+	// structuralCone, ecoPool recycles ecoPass dirty/changed arrays.
+	seenBits  []bool
+	coneBuf   []bool
+	coneQueue []netlist.NetID
+	ecoPool   []*ecoPass
 	// passConverged is the delta-refinement carry-over count of the
 	// in-flight pass (driver goroutine only; harvested by endPass).
 	passConverged int64
@@ -487,6 +498,51 @@ func (e *Engine) putState(st []netState) {
 	}
 }
 
+// getSeenBits returns the session's dense dedup bitset (by NetID−1).
+// Contract: the caller clears every bit it set before the next use —
+// clearing is O(bits set), not O(nets).
+func (e *Engine) getSeenBits() []bool {
+	if e.seenBits == nil {
+		e.seenBits = make([]bool, len(e.C.Nets))
+	}
+	return e.seenBits
+}
+
+// getEcoPass hands out a reset ecoPass from the session pool; the
+// dirty/changed arrays are cleared here so newEcoPass/newDeltaPass see
+// the same zero state a fresh allocation would give.
+func (e *Engine) getEcoPass() *ecoPass {
+	n := len(e.C.Nets)
+	if l := len(e.ecoPool); l > 0 {
+		ec := e.ecoPool[l-1]
+		e.ecoPool[l-1] = nil
+		e.ecoPool = e.ecoPool[:l-1]
+		for i := range ec.dirty {
+			ec.dirty[i].Store(false)
+		}
+		clear(ec.changed)
+		ec.orig = nil
+		ec.pass1 = false
+		ec.expansions.Store(0)
+		ec.dirtyN.Store(0)
+		ec.reusedN.Store(0)
+		return ec
+	}
+	return &ecoPass{
+		changed: make([]bool, n),
+		dirty:   make([]atomic.Bool, n),
+	}
+}
+
+// putEcoPass returns an ecoPass to the pool once nothing reads its
+// changed mask anymore (the next pass has consumed it).
+func (e *Engine) putEcoPass(ec *ecoPass) {
+	if ec != nil && len(ec.changed) == len(e.C.Nets) {
+		ec.orig = nil
+		e.ecoPool = append(e.ecoPool, ec)
+	}
+}
+
 func snapshotQuiet(st []netState) [][2]float64 {
 	out := make([][2]float64, len(st))
 	for i := range st {
@@ -552,11 +608,12 @@ func (e *Engine) finish(res *Result, st []netState) {
 		if !p.valid {
 			break
 		}
-		// Wire delay consumed entering this cell.
-		inNet := e.C.Net(p.fromNet)
-		for _, pr := range inNet.Fanout {
-			if pr.Cell == p.cell {
-				res.WireDelayOnLongestPath += inNet.Par.SinkWireDelay[pr]
+		// Wire delay consumed entering this cell (lowest pin fed by the
+		// predecessor net, matching the fanout append order).
+		pcell := e.C.Cell(p.cell)
+		for pin, in := range pcell.In {
+			if in == p.fromNet {
+				res.WireDelayOnLongestPath += e.sink.At(p.cell, pin)
 				break
 			}
 		}

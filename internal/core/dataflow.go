@@ -134,9 +134,10 @@ func (e *Compiled) buildPhaseGraph(levels [][]netlist.CellID) *dfGraph {
 			add(in)
 		}
 		outRank := e.netRank[cell.Out]
-		for _, cp := range e.info[cell.Out-1].couplings {
-			if e.netCalculatedAt(cp.Other, outRank) {
-				add(cp.Other)
+		inf := &e.info[cell.Out-1]
+		for k := inf.ccLo; k < inf.ccHi; k++ {
+			if other := e.cc.Nbr[k]; e.netCalculatedAt(other, outRank) {
+				add(other)
 			}
 		}
 		return preds

@@ -281,8 +281,12 @@ func (e *Engine) RunSeeded(prev *ReplayState, seed []bool) (*Result, error) {
 // inputs the full run sees, so an unchanged line reproduces its stored
 // value. Returns a fresh mask; the caller's slice is not mutated.
 func (e *Engine) structuralCone(seed []bool, eco *ECOStats) []bool {
-	cone := append([]bool(nil), seed...)
-	var queue []netlist.NetID
+	if e.coneBuf == nil {
+		e.coneBuf = make([]bool, len(seed))
+	}
+	cone := e.coneBuf
+	copy(cone, seed)
+	queue := e.coneQueue[:0]
 	for i, s := range seed {
 		if s {
 			queue = append(queue, netlist.NetID(i+1))
@@ -305,13 +309,14 @@ func (e *Engine) structuralCone(seed []bool, eco *ECOStats) []bool {
 			}
 			mark(cell.Out)
 		}
-		for _, dff := range e.clockSinks[net] {
+		for _, dff := range e.clockSinksOf(net) {
 			if out := e.C.Cell(dff).Out; out != netlist.NoNet {
 				mark(out)
 			}
 		}
 	}
 	e.m.ecoExpansions.Add(eco.ConeExpansions)
+	e.coneQueue = queue[:0]
 	return cone
 }
 
@@ -374,18 +379,24 @@ func (e *Engine) runPassesSeeded(prev *ReplayState, seed []bool, eco *ECOStats) 
 			e.earliestStart = startTimes(early, slews)
 			// A moved earliest-activity bound re-opens the window pruning
 			// question for every coupled victim of that net, in every
-			// refinement pass.
-			seen := make(map[netlist.NetID]bool)
+			// refinement pass. The dedup bitset is session scratch (ids
+			// are dense), cleared after use by walking the victims.
+			seen := e.getSeenBits()
 			for i, ch := range earlyChanged {
 				if !ch {
 					continue
 				}
-				for _, cp := range e.C.Net(netlist.NetID(i + 1)).Par.Couplings {
-					if !seen[cp.Other] {
-						seen[cp.Other] = true
-						earlyVictims = append(earlyVictims, cp.Other)
+				lo, hi := e.cc.Span(netlist.NetID(i + 1))
+				for k := lo; k < hi; k++ {
+					other := e.cc.Nbr[k]
+					if !seen[other-1] {
+						seen[other-1] = true
+						earlyVictims = append(earlyVictims, other)
 					}
 				}
+			}
+			for _, v := range earlyVictims {
+				seen[v-1] = false
 			}
 		} else {
 			e.earliestStart = nil
@@ -409,10 +420,11 @@ func (e *Engine) runPassesSeeded(prev *ReplayState, seed []bool, eco *ECOStats) 
 		return st, 1, nil
 	}
 	passes := 1
-	prevChanged := ec.changed
+	prevEc := ec
 	for passes < e.opts.MaxPasses {
 		ec := e.newEcoPass(prev, passes, seed)
-		e.seedRefinementDirty(ec, prevChanged, earlyVictims)
+		e.seedRefinementDirty(ec, prevEc.changed, earlyVictims)
+		e.putEcoPass(prevEc)
 		qp := snapshotQuiet(st)
 		e.finalQuietPrev, e.finalPassMode = qp, Iterative
 		ph := e.beginPass(passes+1, Iterative)
@@ -425,12 +437,13 @@ func (e *Engine) runPassesSeeded(prev *ReplayState, seed []bool, eco *ECOStats) 
 		e.accumulateECO(ec, eco)
 		e.putState(st)
 		st = st2
-		prevChanged = ec.changed
+		prevEc = ec
 		if newDelay >= delay-1e-12 {
 			break
 		}
 		delay = newDelay
 	}
+	e.putEcoPass(prevEc)
 	return st, passes, nil
 }
 
@@ -458,13 +471,9 @@ type ecoPass struct {
 }
 
 func (e *Engine) newEcoPass(prev *ReplayState, passIdx int, seed []bool) *ecoPass {
-	n := len(e.C.Nets)
 	mode := e.opts.Mode
-	ec := &ecoPass{
-		changed: make([]bool, n),
-		dirty:   make([]atomic.Bool, n),
-		pass1:   passIdx == 0 && (mode == OneStep || mode == Iterative),
-	}
+	ec := e.getEcoPass()
+	ec.pass1 = passIdx == 0 && (mode == OneStep || mode == Iterative)
 	if passIdx < len(prev.passes) {
 		ec.orig = prev.passes[passIdx]
 		for i, s := range seed {
@@ -495,11 +504,8 @@ func (ec *ecoPass) markAll() {
 // quiescent times, and Windows pruning activates, so every line's
 // evalArc inputs change shape).
 func (e *Engine) newDeltaPass(prevSt []netState, prevChanged []bool) *ecoPass {
-	ec := &ecoPass{
-		orig:    prevSt,
-		changed: make([]bool, len(e.C.Nets)),
-		dirty:   make([]atomic.Bool, len(e.C.Nets)),
-	}
+	ec := e.getEcoPass()
+	ec.orig = prevSt
 	if prevChanged == nil {
 		ec.markAll()
 	} else {
@@ -530,13 +536,14 @@ func (e *Engine) ecoExpand(ec *ecoPass, net netlist.NetID) {
 		}
 		ec.mark(sink.Out)
 	}
-	for _, cid := range e.clockSinks[net] {
+	for _, cid := range e.clockSinksOf(net) {
 		ec.mark(e.C.Cell(cid).Out)
 	}
 	if ec.pass1 {
-		for _, cp := range n.Par.Couplings {
-			if e.netRank[cp.Other] > e.netRank[net] {
-				ec.mark(cp.Other)
+		lo, hi := e.cc.Span(net)
+		for k := lo; k < hi; k++ {
+			if other := e.cc.Nbr[k]; e.netRank[other] > e.netRank[net] {
+				ec.mark(other)
 			}
 		}
 	}
@@ -557,8 +564,9 @@ func (e *Engine) seedRefinementDirty(ec *ecoPass, prevChanged []bool, earlyVicti
 			continue
 		}
 		id := netlist.NetID(i + 1)
-		for _, cp := range e.C.Net(id).Par.Couplings {
-			ec.mark(cp.Other)
+		lo, hi := e.cc.Span(id)
+		for k := lo; k < hi; k++ {
+			ec.mark(e.cc.Nbr[k])
 		}
 		if e.opts.Windows {
 			ec.mark(id)
@@ -671,8 +679,7 @@ func (e *Engine) passSeeded(mode Mode, quietPrev [][2]float64, ec *ecoPass) ([]n
 		if cell.Clock != netlist.NoNet {
 			cs := &st[cell.Clock-1]
 			if cs.calculated && !math.IsInf(cs.arrival[dirRise], -1) {
-				pr := netlist.PinRef{Cell: cell.ID, Pin: layoutClockPin}
-				launch += cs.arrival[dirRise] + c.Net(cell.Clock).Par.SinkWireDelay[pr]
+				launch += cs.arrival[dirRise] + e.sink.ClockDelay[cell.ID]
 			}
 		}
 		s := &st[out-1]

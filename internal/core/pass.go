@@ -66,8 +66,7 @@ func (e *Engine) pass(mode Mode, quietPrev [][2]float64, critical []bool, prev [
 		if cell.Clock != netlist.NoNet {
 			cs := &st[cell.Clock-1]
 			if cs.calculated && !math.IsInf(cs.arrival[dirRise], -1) {
-				pr := netlist.PinRef{Cell: cell.ID, Pin: layoutClockPin}
-				launch += cs.arrival[dirRise] + c.Net(cell.Clock).Par.SinkWireDelay[pr]
+				launch += cs.arrival[dirRise] + e.sink.ClockDelay[cell.ID]
 			}
 		}
 		s := &st[cell.Out-1]
@@ -124,13 +123,12 @@ func (e *Engine) processCell(mode Mode, st []netState, quietPrev [][2]float64, c
 			if !is.calculated || math.IsInf(is.arrival[dIn], -1) {
 				continue
 			}
-			pr := netlist.PinRef{Cell: cell.ID, Pin: pin}
 			inArr := is.arrival[dIn]
 			if !e.opts.PiModel {
 				// Lumped model: the wire delay to this pin is the
 				// Elmore term (paper §2); with the π-model the arrival
 				// is already at the receiving end.
-				inArr += e.C.Net(inNet).Par.SinkWireDelay[pr]
+				inArr += e.sink.At(cell.ID, pin)
 			}
 			inSlew := is.slew[dIn]
 			if inSlew <= 0 {
@@ -250,16 +248,18 @@ func (e *Engine) evalArc(mode Mode, st []netState, quietPrev [][2]float64,
 				proven := true
 				ccActive := 0.0
 				nCouple, nGround := 0, 0
-				for _, cp := range inf.couplings {
+				ccNbr, ccC := e.cc.Nbr, e.cc.C
+				for k := inf.ccLo; k < inf.ccHi; k++ {
+					other := ccNbr[k]
 					var calculated bool
 					var quietAt float64
 					if quietPrev != nil {
 						calculated = true
-						quietAt = quietPrev[cp.Other-1][dAgg]
+						quietAt = quietPrev[other-1][dAgg]
 					} else {
-						calculated = e.netCalculatedAt(cp.Other, e.netRank[out])
+						calculated = e.netCalculatedAt(other, e.netRank[out])
 						if calculated {
-							quietAt = st[cp.Other-1].quiet[dAgg]
+							quietAt = st[other-1].quiet[dAgg]
 						}
 					}
 					// ShouldCouple(calculated, quietAt, t) over the whole
@@ -268,7 +268,7 @@ func (e *Engine) evalArc(mode Mode, st []netState, quietPrev [][2]float64,
 					// iff quiet before the earliest.
 					switch {
 					case !calculated || quietAt > tbcsHi:
-						ccActive += cp.C
+						ccActive += ccC[k]
 						nCouple++
 					case quietAt <= tbcsLo:
 						nGround++
@@ -327,12 +327,14 @@ func (e *Engine) evalArc(mode Mode, st []netState, quietPrev [][2]float64,
 			}
 		}
 		ccActive := 0.0
-		for _, cp := range inf.couplings {
+		ccNbr, ccC := e.cc.Nbr, e.cc.C
+		for k := inf.ccLo; k < inf.ccHi; k++ {
+			other := ccNbr[k]
 			var calculated bool
 			var quietAt float64
 			if quietPrev != nil {
 				calculated = true
-				quietAt = quietPrev[cp.Other-1][dAggressor]
+				quietAt = quietPrev[other-1][dAggressor]
 				if math.IsInf(quietAt, -1) {
 					// The neighbor never switches in that direction:
 					// it cannot couple.
@@ -342,9 +344,9 @@ func (e *Engine) evalArc(mode Mode, st []netState, quietPrev [][2]float64,
 				// Level-based rule (order-independent; see parallel.go):
 				// a neighbor is calculated when its driver's level is
 				// strictly below this cell's, so its state is frozen.
-				calculated = e.netCalculatedAt(cp.Other, e.netRank[out])
+				calculated = e.netCalculatedAt(other, e.netRank[out])
 				if calculated {
-					quietAt = st[cp.Other-1].quiet[dAggressor]
+					quietAt = st[other-1].quiet[dAggressor]
 				}
 			}
 			couples := coupling.ShouldCouple(calculated, quietAt, tBCS)
@@ -352,13 +354,13 @@ func (e *Engine) evalArc(mode Mode, st []netState, quietPrev [][2]float64,
 			if couples && e.earliestStart != nil && quietPrev != nil {
 				// Windows extension: an aggressor that cannot become
 				// active before the victim is done cannot couple.
-				if e.earliestStart[cp.Other-1][dAggressor] >= victimQuiet {
+				if e.earliestStart[other-1][dAggressor] >= victimQuiet {
 					couples, pruned = false, true
 				}
 			}
 			switch {
 			case couples:
-				ccActive += cp.C
+				ccActive += ccC[k]
 				e.m.couplingActive.Inc()
 			case pruned:
 				e.m.couplingWindowPruned.Inc()

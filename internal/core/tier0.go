@@ -185,8 +185,7 @@ func (e *Engine) t0Frontier() error {
 				}
 				inArr := arr[inNet-1][dIn]
 				if !e.opts.PiModel {
-					pr := netlist.PinRef{Cell: cell.ID, Pin: pin}
-					inArr += c.Net(inNet).Par.SinkWireDelay[pr]
+					inArr += e.sink.At(cell.ID, pin)
 				}
 				inSlew := slw[inNet-1][dIn]
 				if inSlew <= 0 {
@@ -223,8 +222,7 @@ func (e *Engine) t0Frontier() error {
 		}
 		launch := ccc.DFFClkToQ()
 		if cell.Clock != netlist.NoNet && calc[cell.Clock-1] && !math.IsInf(arr[cell.Clock-1][dirRise], -1) {
-			pr := netlist.PinRef{Cell: cell.ID, Pin: layoutClockPin}
-			launch += arr[cell.Clock-1][dirRise] + c.Net(cell.Clock).Par.SinkWireDelay[pr]
+			launch += arr[cell.Clock-1][dirRise] + e.sink.ClockDelay[cell.ID]
 		}
 		out := cell.Out
 		arr[out-1] = [2]float64{launch, launch}

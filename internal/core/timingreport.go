@@ -254,11 +254,16 @@ func (e *Engine) runPasses() ([]netState, int, error) {
 		// is exact relative to itself only without delta carry-over.
 		delta := !e.opts.Esperance && !e.opts.DisableDeltaRefinement
 		var prevChanged []bool
+		var prevEc *ecoPass
 		for passes < e.opts.MaxPasses {
 			var critical []bool
 			var ec *ecoPass
 			if delta {
 				ec = e.newDeltaPass(st, prevChanged)
+				if prevEc != nil {
+					e.putEcoPass(prevEc)
+					prevEc = nil
+				}
 			} else if e.opts.Esperance {
 				critical = e.criticalNets(st, delay)
 			}
@@ -280,6 +285,7 @@ func (e *Engine) runPasses() ([]netState, int, error) {
 				e.passConverged = ec.reusedN.Load()
 				e.m.convergedSkips.Add(e.passConverged)
 				prevChanged = ec.changed
+				prevEc = ec
 			}
 			newDelay := e.endPass(ph, st2)
 			e.putState(st)
@@ -288,6 +294,9 @@ func (e *Engine) runPasses() ([]netState, int, error) {
 				break
 			}
 			delay = newDelay
+		}
+		if prevEc != nil {
+			e.putEcoPass(prevEc)
 		}
 		return st, passes, nil
 	}

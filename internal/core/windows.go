@@ -79,10 +79,9 @@ func (e *Engine) minPassRaw() ([][2]float64, [][2]float64, error) {
 				if !done[inNet-1] || math.IsInf(early[inNet-1][dIn], 1) {
 					continue
 				}
-				pr := netlist.PinRef{Cell: cell.ID, Pin: pin}
 				inArr := early[inNet-1][dIn]
 				if !e.opts.PiModel {
-					inArr += c.Net(inNet).Par.SinkWireDelay[pr]
+					inArr += e.sink.At(cell.ID, pin)
 				}
 				inSlew := slews[inNet-1][dIn]
 				if inSlew <= 0 {
@@ -128,8 +127,7 @@ func (e *Engine) minPassRaw() ([][2]float64, [][2]float64, error) {
 		}
 		launch := ccc.DFFClkToQ()
 		if cell.Clock != netlist.NoNet && done[cell.Clock-1] && !math.IsInf(early[cell.Clock-1][dirRise], 1) {
-			pr := netlist.PinRef{Cell: cell.ID, Pin: layoutClockPin}
-			launch += early[cell.Clock-1][dirRise] + c.Net(cell.Clock).Par.SinkWireDelay[pr]
+			launch += early[cell.Clock-1][dirRise] + e.sink.ClockDelay[cell.ID]
 		}
 		for d := 0; d < 2; d++ {
 			if launch < early[cell.Out-1][d] {
@@ -177,7 +175,7 @@ func (e *Engine) minPassSeeded(prev *ReplayState, seed []bool, eco *ECOStats) ([
 			}
 			dirty[sink.Out-1] = true
 		}
-		for _, cid := range e.clockSinks[net] {
+		for _, cid := range e.clockSinksOf(net) {
 			dirty[c.Cell(cid).Out-1] = true
 		}
 	}
@@ -212,10 +210,9 @@ func (e *Engine) minPassSeeded(prev *ReplayState, seed []bool, eco *ECOStats) ([
 				if math.IsInf(early[inNet-1][dIn], 1) {
 					continue
 				}
-				pr := netlist.PinRef{Cell: cell.ID, Pin: pin}
 				inArr := early[inNet-1][dIn]
 				if !e.opts.PiModel {
-					inArr += c.Net(inNet).Par.SinkWireDelay[pr]
+					inArr += e.sink.At(cell.ID, pin)
 				}
 				inSlew := slews[inNet-1][dIn]
 				if inSlew <= 0 {
@@ -265,8 +262,7 @@ func (e *Engine) minPassSeeded(prev *ReplayState, seed []bool, eco *ECOStats) ([
 		slews[out-1] = [2]float64{}
 		launch := ccc.DFFClkToQ()
 		if cell.Clock != netlist.NoNet && !math.IsInf(early[cell.Clock-1][dirRise], 1) {
-			pr := netlist.PinRef{Cell: cell.ID, Pin: layoutClockPin}
-			launch += early[cell.Clock-1][dirRise] + c.Net(cell.Clock).Par.SinkWireDelay[pr]
+			launch += early[cell.Clock-1][dirRise] + e.sink.ClockDelay[cell.ID]
 		}
 		for d := 0; d < 2; d++ {
 			if launch < early[out-1][d] {

@@ -8,9 +8,11 @@ import "fmt"
 
 // Tree is a rooted RC tree. Node 0 is the root (the driver output).
 // Every other node has a parent and a resistance on the edge from its
-// parent; every node carries a capacitance to ground.
+// parent; every node carries a capacitance to ground. Parent links are
+// stored as int32 so a million-net design's trees fit a flat arena
+// (see Arena) at half the pointer-width cost.
 type Tree struct {
-	parent []int     // parent[i] for i>0; parent[0] = -1
+	parent []int32   // parent[i] for i>0; parent[0] = -1
 	r      []float64 // r[i] = resistance of edge parent(i)→i; r[0] unused
 	c      []float64 // node capacitance
 }
@@ -18,7 +20,59 @@ type Tree struct {
 // NewTree creates a tree with just the root node carrying capacitance
 // cRoot.
 func NewTree(cRoot float64) *Tree {
-	return &Tree{parent: []int{-1}, r: []float64{0}, c: []float64{cRoot}}
+	return &Tree{parent: []int32{-1}, r: []float64{0}, c: []float64{cRoot}}
+}
+
+// Reset truncates the tree back to a single root node carrying cRoot,
+// keeping the backing arrays for reuse. Works on the zero Tree.
+func (t *Tree) Reset(cRoot float64) {
+	t.parent = append(t.parent[:0], -1)
+	t.r = append(t.r[:0], 0)
+	t.c = append(t.c[:0], cRoot)
+}
+
+// Arena is a flattened node slab shared by many trees: every node of
+// every carved tree lives in one of three contiguous arrays instead of
+// a per-tree trio of heap slices. Carved trees are ordinary Trees whose
+// slices alias a capacity-capped window of the slab, so growing one
+// beyond its reservation reallocates away from the slab instead of
+// stomping its neighbor.
+type Arena struct {
+	parent []int32
+	r, c   []float64
+	used   int
+}
+
+// NewArena allocates slab storage for totalNodes tree nodes.
+func NewArena(totalNodes int) *Arena {
+	return &Arena{
+		parent: make([]int32, totalNodes),
+		r:      make([]float64, totalNodes),
+		c:      make([]float64, totalNodes),
+	}
+}
+
+// NodesUsed reports how many slab nodes have been reserved so far.
+func (a *Arena) NodesUsed() int { return a.used }
+
+// Carve reserves the next maxNodes-node window of the arena and returns
+// a root-only tree (root capacitance cRoot) backed by it. When the
+// arena is exhausted it falls back to an ordinary heap tree.
+func (a *Arena) Carve(cRoot float64, maxNodes int) Tree {
+	if maxNodes < 1 || a.used+maxNodes > len(a.parent) {
+		return *NewTree(cRoot)
+	}
+	lo, hi := a.used, a.used+maxNodes
+	a.used = hi
+	t := Tree{
+		parent: a.parent[lo:lo:hi],
+		r:      a.r[lo:lo:hi],
+		c:      a.c[lo:lo:hi],
+	}
+	t.parent = append(t.parent, -1)
+	t.r = append(t.r, 0)
+	t.c = append(t.c, cRoot)
+	return t
 }
 
 // AddNode attaches a new node under parent with edge resistance r and
@@ -31,7 +85,7 @@ func (t *Tree) AddNode(parent int, r, c float64) (int, error) {
 		return 0, fmt.Errorf("elmore: negative R (%g) or C (%g)", r, c)
 	}
 	idx := len(t.parent)
-	t.parent = append(t.parent, parent)
+	t.parent = append(t.parent, int32(parent))
 	t.r = append(t.r, r)
 	t.c = append(t.c, c)
 	return idx, nil
@@ -53,7 +107,7 @@ func (t *Tree) AddCap(node int, c float64) error {
 func (t *Tree) NumNodes() int { return len(t.parent) }
 
 // Parent returns the parent index of a node (-1 for the root).
-func (t *Tree) Parent(i int) int { return t.parent[i] }
+func (t *Tree) Parent(i int) int { return int(t.parent[i]) }
 
 // EdgeR returns the resistance of the edge from Parent(i) to i.
 func (t *Tree) EdgeR(i int) float64 { return t.r[i] }
@@ -86,19 +140,38 @@ func (t *Tree) TotalRes() float64 {
 // Children are guaranteed to have larger indices than their parents by
 // construction, so simple index sweeps implement the passes.
 func (t *Tree) Delays() []float64 {
+	delay, _ := t.DelaysInto(nil, nil)
+	return delay
+}
+
+// DelaysInto is Delays with caller-owned scratch: delay and down are
+// grown as needed and returned for reuse across calls (the delays
+// occupy the first NumNodes entries of the returned delay slice). One
+// pair of buffers amortizes the per-net allocation of extracting every
+// net of a large design.
+func (t *Tree) DelaysInto(delay, down []float64) (delays, downOut []float64) {
 	n := len(t.parent)
-	down := make([]float64, n)
+	if cap(down) < n {
+		down = make([]float64, n)
+	}
+	down = down[:n]
 	copy(down, t.c)
 	// Pass 1 (leaves→root): accumulate downstream capacitance.
 	for i := n - 1; i >= 1; i-- {
 		down[t.parent[i]] += down[i]
 	}
 	// Pass 2 (root→leaves): delay(i) = delay(parent) + R(i)·down(i).
-	delay := make([]float64, n)
+	if cap(delay) < n {
+		delay = make([]float64, n)
+	}
+	delay = delay[:n]
+	if n > 0 {
+		delay[0] = 0
+	}
 	for i := 1; i < n; i++ {
 		delay[i] = delay[t.parent[i]] + t.r[i]*down[i]
 	}
-	return delay
+	return delay, down
 }
 
 // DelayTo returns the Elmore delay from root to one node.

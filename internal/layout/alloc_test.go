@@ -1,0 +1,108 @@
+package layout
+
+import (
+	"testing"
+
+	"xtalksta/internal/ccc"
+	"xtalksta/internal/circuitgen"
+	"xtalksta/internal/device"
+	"xtalksta/internal/netlist"
+)
+
+// allocCircuit builds a lowered mid-size circuit for allocation
+// regression tests (large enough that per-net map churn would show up
+// as O(nets) allocations, small enough to run in the default suite).
+func allocCircuit(tb testing.TB) *netlist.Circuit {
+	tb.Helper()
+	c, err := circuitgen.Generate(circuitgen.Params{
+		Seed: 404, Cells: 2000, DFFs: 160, PIs: 10, POs: 10, Depth: 10, ClockFanout: 8,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := netlist.Lower(c); err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
+// TestBuildAllocsBounded locks in the post-refactor allocation profile
+// of the placement+routing pass: dense slices and one tree-node arena
+// mean the allocation count is dominated by a fixed number of slab
+// allocations plus slice growth, i.e. far below one allocation per
+// net. A regression to per-net maps or per-tree heap nodes multiplies
+// the count past the bound immediately.
+func TestBuildAllocsBounded(t *testing.T) {
+	c := allocCircuit(t)
+	nets := len(c.Nets)
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := Build(c, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Post-refactor measurement is ~4.2 allocs/net (dominated by the
+	// per-net sort.Slice scratch in routing, plus slab arrays and seg
+	// accumulation). A reversion to pointer trees or per-net maps adds
+	// several allocations per net and trips the bound.
+	if maxAllocs := 6 * float64(nets); allocs > maxAllocs {
+		t.Fatalf("Build allocated %.0f times for %d nets (bound %.0f): per-net allocation crept back in",
+			allocs, nets, maxAllocs)
+	}
+	t.Logf("Build: %.0f allocs for %d nets (%.3f/net)", allocs, nets, allocs/float64(nets))
+}
+
+// TestExtractAllocsBounded does the same for parasitic extraction: the
+// reusable scratch tree, the grow-only delay buffers and the dense
+// overlap accumulator keep extraction at ~10 allocs/net (per-net
+// coupling sorts and the coupling slab; the trees themselves allocate
+// nothing).
+func TestExtractAllocsBounded(t *testing.T) {
+	c := allocCircuit(t)
+	p := device.Generic05um()
+	siz := ccc.DefaultSizing(p)
+	l, err := Build(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := len(c.Nets)
+	pinCap := ccc.PinCapFunc(c, p, siz)
+	allocs := testing.AllocsPerRun(3, func() {
+		if err := l.Extract(p, pinCap, 30e-15); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if maxAllocs := 15 * float64(nets); allocs > maxAllocs {
+		t.Fatalf("Extract allocated %.0f times for %d nets (bound %.0f)",
+			allocs, nets, maxAllocs)
+	}
+	t.Logf("Extract: %.0f allocs for %d nets (%.3f/net)", allocs, nets, allocs/float64(nets))
+}
+
+func BenchmarkBuild(b *testing.B) {
+	c := allocCircuit(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(c, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	c := allocCircuit(b)
+	p := device.Generic05um()
+	siz := ccc.DefaultSizing(p)
+	l, err := Build(c, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pinCap := ccc.PinCapFunc(c, p, siz)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Extract(p, pinCap, 30e-15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

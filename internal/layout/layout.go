@@ -6,6 +6,12 @@
 // wire resistance, an Elmore RC tree per net, and — the part the
 // paper's algorithms feed on — coupling capacitances to the specific
 // nets occupying neighboring tracks.
+//
+// Memory model (DESIGN.md §15): everything keyed by a cell or net is an
+// index-addressed slice over the dense int32 ids, not a hash map, and
+// the per-net RC trees live in one flattened node arena with int32
+// parent links. A million-cell design's layout is a handful of large
+// contiguous allocations instead of millions of small ones.
 package layout
 
 import (
@@ -80,42 +86,82 @@ type seg struct {
 	lo, hi float64
 }
 
-// Layout is the placed-and-routed design.
+// Layout is the placed-and-routed design. All position tables are
+// dense, index-addressed slices (by CellID, or by NetID-1) rather than
+// hash maps; input-pin positions form a per-cell CSR.
 type Layout struct {
 	Opts    Options
 	Circuit *netlist.Circuit
 
-	CellPos map[netlist.CellID]Point // lower-left cell origin
-	// PinPos holds input pin positions; OutPos the output pin position
-	// per cell. PO pins sit at the die edge.
-	PinPos map[netlist.PinRef]Point
-	OutPos map[netlist.CellID]Point
-	POPos  map[netlist.NetID]Point
-	PIPos  map[netlist.NetID]Point
+	CellPos []Point // by CellID: lower-left cell origin
+	OutPos  []Point // by CellID: output pin position
+	// pinOff/pinPos are the CSR of input-pin positions: the pins of
+	// cell id occupy pinPos[pinOff[id]:pinOff[id+1]] in pin order.
+	pinOff []int32
+	pinPos []Point
+	POPos  []Point // by NetID-1; meaningful only when the net is a PO
+	PIPos  []Point // by NetID-1; meaningful only when the net is a PI
 
 	hsegs []seg // horizontal (metal-1): track = y index, extent = x
 	vsegs []seg // vertical (metal-2): track = x index, extent = y
 
-	clockSinks map[netlist.NetID][]netlist.CellID // clock net → DFFs it clocks
+	// clockSinkOff/clockSinkCells are the CSR mapping a clock net to
+	// the DFFs it clocks (span [off[id-1], off[id]) of the cell array).
+	clockSinkOff   []int32
+	clockSinkCells []netlist.CellID
 
 	// TrunkFallbacks counts trunks the legalizer had to stack on an
 	// occupied track under congestion (a stand-in for extra layers).
 	TrunkFallbacks int
 
-	// Trees holds the per-net Elmore RC tree and the tree-node index of
-	// every sink pin.
-	Trees map[netlist.NetID]*NetTree
+	// trees holds the per-net Elmore RC tree and sink mapping, by
+	// NetID-1. Tree node storage lives in one flattened elmore.Arena;
+	// the sink ref/node pairs share two slabs carved per net.
+	trees []NetTree
 
 	// DieW, DieH are the die dimensions.
 	DieW, DieH float64
 }
 
-// NetTree pairs a net's RC tree with its sink mapping.
+// NetTree pairs a net's RC tree with its sink mapping. SinkRefs and
+// SinkNodes are parallel: the pin SinkRefs[i] taps the tree at node
+// SinkNodes[i].
 type NetTree struct {
-	Tree     *elmore.Tree
-	SinkNode map[netlist.PinRef]int
-	PONode   int // -1 when the net is not a PO
-	WireLen  float64
+	Tree      elmore.Tree
+	SinkRefs  []netlist.PinRef
+	SinkNodes []int32
+	PONode    int32 // -1 when the net is not a PO
+	WireLen   float64
+}
+
+// SinkNodeOf returns the tree node of one sink pin (linear scan — nets
+// have small fanout).
+func (nt *NetTree) SinkNodeOf(pr netlist.PinRef) (int, bool) {
+	for i, r := range nt.SinkRefs {
+		if r == pr {
+			return int(nt.SinkNodes[i]), true
+		}
+	}
+	return 0, false
+}
+
+// Tree returns the routed NetTree of a net, or nil for an id out of
+// range.
+func (l *Layout) Tree(id netlist.NetID) *NetTree {
+	if id <= 0 || int(id) > len(l.trees) {
+		return nil
+	}
+	return &l.trees[id-1]
+}
+
+// PinAt returns the position of an input pin.
+func (l *Layout) PinAt(pr netlist.PinRef) Point {
+	return l.pinPos[l.pinOff[pr.Cell]+int32(pr.Pin)]
+}
+
+// clockSinksOf returns the flip-flops clocked by net id.
+func (l *Layout) clockSinksOf(id netlist.NetID) []netlist.CellID {
+	return l.clockSinkCells[l.clockSinkOff[id-1]:l.clockSinkOff[id]]
 }
 
 // Build places and routes the circuit. Parasitic extraction is a
@@ -128,19 +174,13 @@ func Build(c *netlist.Circuit, opts Options) (*Layout, error) {
 	l := &Layout{
 		Opts:    opts,
 		Circuit: c,
-		CellPos: make(map[netlist.CellID]Point, len(c.Cells)),
-		PinPos:  make(map[netlist.PinRef]Point),
-		OutPos:  make(map[netlist.CellID]Point, len(c.Cells)),
-		POPos:   make(map[netlist.NetID]Point),
-		PIPos:   make(map[netlist.NetID]Point),
-		Trees:   make(map[netlist.NetID]*NetTree, len(c.Nets)),
+		CellPos: make([]Point, len(c.Cells)),
+		OutPos:  make([]Point, len(c.Cells)),
+		POPos:   make([]Point, len(c.Nets)),
+		PIPos:   make([]Point, len(c.Nets)),
+		trees:   make([]NetTree, len(c.Nets)),
 	}
-	l.clockSinks = make(map[netlist.NetID][]netlist.CellID)
-	for _, cell := range c.Cells {
-		if cell.Kind == netlist.DFF && cell.Clock != netlist.NoNet {
-			l.clockSinks[cell.Clock] = append(l.clockSinks[cell.Clock], cell.ID)
-		}
-	}
+	l.buildClockSinks()
 	sp := opts.Trace.Begin("place", 0).Arg("cells", len(c.Cells))
 	l.place()
 	sp.End()
@@ -150,10 +190,36 @@ func Build(c *netlist.Circuit, opts Options) (*Layout, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts.Metrics.Counter(obs.MLayoutNetsRouted).Add(int64(len(l.Trees)))
+	opts.Metrics.Counter(obs.MLayoutNetsRouted).Add(int64(len(l.trees)))
 	total, _ := l.WirelengthStats()
 	opts.Metrics.Gauge(obs.MLayoutWirelength).Set(total * 1e3)
 	return l, nil
+}
+
+// buildClockSinks indexes the flip-flops per clock net as a CSR
+// (counting pass, then fill), preserving cell order within each net.
+func (l *Layout) buildClockSinks() {
+	c := l.Circuit
+	l.clockSinkOff = make([]int32, len(c.Nets)+1)
+	total := 0
+	for _, cell := range c.Cells {
+		if cell.Kind == netlist.DFF && cell.Clock != netlist.NoNet {
+			l.clockSinkOff[cell.Clock]++
+			total++
+		}
+	}
+	for i := 1; i < len(l.clockSinkOff); i++ {
+		l.clockSinkOff[i] += l.clockSinkOff[i-1]
+	}
+	l.clockSinkCells = make([]netlist.CellID, total)
+	fill := make([]int32, len(c.Nets))
+	for _, cell := range c.Cells {
+		if cell.Kind == netlist.DFF && cell.Clock != netlist.NoNet {
+			base := l.clockSinkOff[cell.Clock-1]
+			l.clockSinkCells[base+fill[cell.Clock-1]] = cell.ID
+			fill[cell.Clock-1]++
+		}
+	}
 }
 
 // place arranges cells in snake order over rows: combinational cells in
@@ -173,9 +239,12 @@ func (l *Layout) place() {
 		// Insert each flip-flop right before the earliest consumer of
 		// its Q output, so register banks sit next to the logic they
 		// feed (what a real placer's net model achieves).
-		pos := make(map[netlist.CellID]int, len(order))
+		pos := make([]int32, len(c.Cells))
+		for i := range pos {
+			pos[i] = -1
+		}
 		for i, cid := range order {
-			pos[cid] = i
+			pos[cid] = int32(i)
 		}
 		type keyed struct {
 			cid netlist.CellID
@@ -191,7 +260,7 @@ func (l *Layout) place() {
 			}
 			key := float64(len(order)) // no consumer: park at the end
 			for _, pr := range c.Net(cell.Out).Fanout {
-				if p, ok := pos[pr.Cell]; ok && float64(p)-0.5 < key {
+				if p := pos[pr.Cell]; p >= 0 && float64(p)-0.5 < key {
 					key = float64(p) - 0.5
 				}
 			}
@@ -203,6 +272,13 @@ func (l *Layout) place() {
 			order = append(order, it.cid)
 		}
 	}
+
+	// Input-pin position CSR, offsets by cell id.
+	l.pinOff = make([]int32, len(c.Cells)+1)
+	for i, cell := range c.Cells {
+		l.pinOff[i+1] = l.pinOff[i] + int32(len(cell.In))
+	}
+	l.pinPos = make([]Point, l.pinOff[len(c.Cells)])
 
 	cellW := func(cell *netlist.Cell) float64 {
 		return l.Opts.BaseCellWidth + float64(len(cell.In))*l.Opts.WidthPerPin
@@ -237,7 +313,7 @@ func (l *Layout) place() {
 		l.CellPos[cid] = Point{px, py}
 		for pin := range cell.In {
 			frac := float64(pin+1) / float64(len(cell.In)+2)
-			l.PinPos[netlist.PinRef{Cell: cid, Pin: pin}] = Point{px + frac*w, py}
+			l.pinPos[l.pinOff[cid]+int32(pin)] = Point{px + frac*w, py}
 		}
 		l.OutPos[cid] = Point{px + 0.8*w, py}
 		x += w
@@ -251,11 +327,11 @@ func (l *Layout) place() {
 	// Primary I/O pins on the die boundary, spread deterministically.
 	for i, pi := range c.PIs {
 		frac := float64(i+1) / float64(len(c.PIs)+1)
-		l.PIPos[pi] = Point{frac * l.DieW, 0}
+		l.PIPos[pi-1] = Point{frac * l.DieW, 0}
 	}
 	for i, po := range c.POs {
 		frac := float64(i+1) / float64(len(c.POs)+1)
-		l.POPos[po] = Point{frac * l.DieW, l.DieH}
+		l.POPos[po-1] = Point{frac * l.DieW, l.DieH}
 	}
 }
 
@@ -297,35 +373,14 @@ func (o *trackOcc) fits(track int, lo, hi float64) bool {
 }
 
 func (o *trackOcc) insert(s seg) {
-	lst := append(o.intervals[s.track], s)
-	sort.Slice(lst, func(i, j int) bool { return lst[i].lo < lst[j].lo })
+	lst := o.intervals[s.track]
+	// Binary insert keeps the track sorted by lo without re-sorting the
+	// whole list on every insertion.
+	i := sort.Search(len(lst), func(i int) bool { return lst[i].lo >= s.lo })
+	lst = append(lst, seg{})
+	copy(lst[i+1:], lst[i:])
+	lst[i] = s
 	o.intervals[s.track] = lst
-}
-
-// pinsOfNet collects the geometric pins of a net: the driver output (or
-// PI pad) plus all sink pins (and the PO pad).
-func (l *Layout) pinsOfNet(n *netlist.Net) (driver Point, sinks []Point, sinkRefs []netlist.PinRef, hasPO bool, poPt Point) {
-	if n.Driver != netlist.NoCell {
-		driver = l.OutPos[n.Driver]
-	} else {
-		driver = l.PIPos[n.ID]
-	}
-	for _, pr := range n.Fanout {
-		sinks = append(sinks, l.PinPos[pr])
-		sinkRefs = append(sinkRefs, pr)
-	}
-	// DFF clock pins: a clock net's fanout list only covers data pins;
-	// clock connectivity lives on Cell.Clock.
-	for _, cid := range l.clockSinks[n.ID] {
-		p := l.CellPos[cid]
-		sinks = append(sinks, Point{p.X, p.Y})
-		sinkRefs = append(sinkRefs, netlist.PinRef{Cell: cid, Pin: clockPinIndex})
-	}
-	if n.IsPO {
-		hasPO = true
-		poPt = l.POPos[n.ID]
-	}
-	return driver, sinks, sinkRefs, hasPO, poPt
 }
 
 // clockPinIndex aliases the protocol constant for DFF clock pins.
@@ -335,32 +390,102 @@ const clockPinIndex = netlist.ClockPinIndex
 func ClockPin() int { return clockPinIndex }
 
 // route builds trunk-and-branch routes for every net and the per-net
-// Elmore trees.
+// Elmore trees. It is a streaming pass: one counting sweep sizes the
+// flattened tree-node arena and the sink slabs exactly, then the build
+// sweep reuses a fixed set of scratch buffers per net, so peak memory
+// beyond the retained output is O(max fanout).
 func (l *Layout) route() error {
 	c := l.Circuit
 	hOcc := newTrackOcc()
 	vOcc := newTrackOcc()
 	pitch := l.Opts.TrackPitch
 
-	// Deterministic net order: by ID.
+	// Counting sweep: a routed net's tree has exactly 2·taps nodes
+	// (root, driver-branch node, taps-1 trunk nodes, taps-1 sink-branch
+	// nodes) where taps = 1 + sinks (+1 for a PO tap); an unloaded net
+	// keeps a root-only tree.
+	totalNodes, totalSinks := 0, 0
 	for _, n := range c.Nets {
-		driver, sinks, sinkRefs, hasPO, poPt := l.pinsOfNet(n)
-		if len(sinks) == 0 && !hasPO {
-			// Unloaded net (should not happen after generation, but a
-			// parsed benchmark may have dangling nets): no route.
-			l.Trees[n.ID] = &NetTree{Tree: elmore.NewTree(0), SinkNode: map[netlist.PinRef]int{}, PONode: -1}
+		nsink := len(n.Fanout) + len(l.clockSinksOf(n.ID))
+		if nsink == 0 && !n.IsPO {
+			totalNodes++
 			continue
 		}
-		pts := append([]Point{driver}, sinks...)
-		if hasPO {
-			pts = append(pts, poPt)
+		ntaps := 1 + nsink
+		if n.IsPO {
+			ntaps++
 		}
+		totalNodes += 2 * ntaps
+		totalSinks += nsink
+	}
+	arena := elmore.NewArena(totalNodes)
+	refSlab := make([]netlist.PinRef, totalSinks)
+	nodeSlab := make([]int32, totalSinks)
+	slabUsed := 0
+	l.hsegs = make([]seg, 0, len(c.Nets))
+
+	// Per-net scratch, reused across the whole sweep.
+	type tap struct {
+		x      float64
+		branch float64 // branch wire length
+		sink   int     // index into refs, -1 driver, -2 PO
+	}
+	var (
+		sinks  []Point
+		ys, xs []float64
+		taps   []tap
+		nodeOf []int
+	)
+
+	// Deterministic net order: by ID.
+	for _, n := range c.Nets {
+		cs := l.clockSinksOf(n.ID)
+		nsink := len(n.Fanout) + len(cs)
+		if nsink == 0 && !n.IsPO {
+			// Unloaded net (should not happen after generation, but a
+			// parsed benchmark may have dangling nets): no route.
+			l.trees[n.ID-1] = NetTree{Tree: arena.Carve(0, 1), PONode: -1}
+			continue
+		}
+		// Geometric pins: driver output (or PI pad), sink pins, PO pad.
+		// DFF clock pins: a clock net's fanout list only covers data
+		// pins; clock connectivity lives on Cell.Clock.
+		var driver Point
+		if n.Driver != netlist.NoCell {
+			driver = l.OutPos[n.Driver]
+		} else {
+			driver = l.PIPos[n.ID-1]
+		}
+		refs := refSlab[slabUsed : slabUsed : slabUsed+nsink]
+		sinkNodes := nodeSlab[slabUsed : slabUsed+nsink : slabUsed+nsink]
+		slabUsed += nsink
+		sinks = sinks[:0]
+		for _, pr := range n.Fanout {
+			sinks = append(sinks, l.PinAt(pr))
+			refs = append(refs, pr)
+		}
+		for _, cid := range cs {
+			p := l.CellPos[cid]
+			sinks = append(sinks, Point{p.X, p.Y})
+			refs = append(refs, netlist.PinRef{Cell: cid, Pin: clockPinIndex})
+		}
+		hasPO := n.IsPO
+		var poPt Point
+		if hasPO {
+			poPt = l.POPos[n.ID-1]
+		}
+
 		// Trunk Y: median of pin Ys, snapped to the track grid.
-		ys := make([]float64, len(pts))
-		xs := make([]float64, len(pts))
-		for i, p := range pts {
-			ys[i] = p.Y
-			xs[i] = p.X
+		ys, xs = ys[:0], xs[:0]
+		ys = append(ys, driver.Y)
+		xs = append(xs, driver.X)
+		for _, p := range sinks {
+			ys = append(ys, p.Y)
+			xs = append(xs, p.X)
+		}
+		if hasPO {
+			ys = append(ys, poPt.Y)
+			xs = append(xs, poPt.X)
 		}
 		sort.Float64s(ys)
 		wantTrack := int(math.Round(ys[len(ys)/2] / pitch))
@@ -411,15 +536,15 @@ func (l *Layout) route() error {
 		// the trunk, then the trunk chains between tap x positions, and
 		// sink branches hang off their taps. Edge "resistances" store
 		// raw lengths here; Extract scales them by process constants.
-		nt := &NetTree{SinkNode: make(map[netlist.PinRef]int), PONode: -1}
-		tree := elmore.NewTree(0)
-
-		type tap struct {
-			x      float64
-			branch float64 // branch wire length
-			sink   int     // index into sinkRefs, -1 driver, -2 PO
+		nt := NetTree{SinkRefs: refs, SinkNodes: sinkNodes, PONode: -1}
+		ntaps := 1 + len(sinks)
+		if hasPO {
+			ntaps++
 		}
-		taps := []tap{{x: driver.X, branch: addBranch(driver), sink: -1}}
+		tree := arena.Carve(0, 2*ntaps)
+
+		taps = taps[:0]
+		taps = append(taps, tap{x: driver.X, branch: addBranch(driver), sink: -1})
 		for i, p := range sinks {
 			taps = append(taps, tap{x: p.X, branch: addBranch(p), sink: i})
 		}
@@ -439,7 +564,10 @@ func (l *Layout) route() error {
 		wireLen := xhi - xlo
 		// Build tree nodes; lengths are stored as "resistance/cap per
 		// meter = 1" and scaled in Extract.
-		nodeOf := make([]int, len(taps))
+		if cap(nodeOf) < len(taps) {
+			nodeOf = make([]int, len(taps))
+		}
+		nodeOf = nodeOf[:len(taps)]
 		// Driver branch from the root to the driver tap.
 		drvNode, err := tree.AddNode(0, taps[drvIdx].branch, 0)
 		if err != nil {
@@ -475,24 +603,25 @@ func (l *Layout) route() error {
 			}
 			wireLen += tp.branch
 			if tp.sink == -2 {
-				nt.PONode = node
+				nt.PONode = int32(node)
 			} else {
-				nt.SinkNode[sinkRefs[tp.sink]] = node
+				nt.SinkNodes[tp.sink] = int32(node)
 			}
 		}
 		nt.Tree = tree
 		nt.WireLen = wireLen
-		l.Trees[n.ID] = nt
+		l.trees[n.ID-1] = nt
 	}
 	return nil
 }
 
 // WirelengthStats summarizes routed wirelength for reporting.
 func (l *Layout) WirelengthStats() (total, max float64) {
-	for _, nt := range l.Trees {
-		total += nt.WireLen
-		if nt.WireLen > max {
-			max = nt.WireLen
+	for i := range l.trees {
+		wl := l.trees[i].WireLen
+		total += wl
+		if wl > max {
+			max = wl
 		}
 	}
 	return total, max
@@ -509,23 +638,33 @@ func orderedKey(a, b netlist.NetID) couplingKey {
 }
 
 // adjacentOverlaps finds, for every pair of segments on adjacent tracks
-// of one layer, their extent overlap. Returns aggregated overlap length
-// per net pair.
-func adjacentOverlaps(segs []seg, minOverlap float64) map[couplingKey]float64 {
-	byTrack := make(map[int][]seg)
-	for _, s := range segs {
-		byTrack[s.track] = append(byTrack[s.track], s)
-	}
-	for _, lst := range byTrack {
-		sort.Slice(lst, func(i, j int) bool { return lst[i].lo < lst[j].lo })
-	}
-	out := make(map[couplingKey]float64)
-	for track, lst := range byTrack {
-		nbr, ok := byTrack[track+1]
-		if !ok {
+// of one layer, their extent overlap, accumulating aggregated overlap
+// length per net pair into out. The segment slice is sorted in place by
+// (track, lo) so the accumulation order is deterministic.
+func adjacentOverlaps(segs []seg, minOverlap float64, out map[couplingKey]float64) {
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].track != segs[j].track {
+			return segs[i].track < segs[j].track
+		}
+		return segs[i].lo < segs[j].lo
+	})
+	runStart := 0
+	for runStart < len(segs) {
+		track := segs[runStart].track
+		runEnd := runStart + 1
+		for runEnd < len(segs) && segs[runEnd].track == track {
+			runEnd++
+		}
+		if runEnd == len(segs) || segs[runEnd].track != track+1 {
+			runStart = runEnd
 			continue
 		}
-		// Merge scan: both lists sorted by lo.
+		nbrEnd := runEnd + 1
+		for nbrEnd < len(segs) && segs[nbrEnd].track == track+1 {
+			nbrEnd++
+		}
+		lst, nbr := segs[runStart:runEnd], segs[runEnd:nbrEnd]
+		// Merge scan: both runs sorted by lo.
 		j := 0
 		for _, a := range lst {
 			// Advance past neighbors that end before a starts.
@@ -543,72 +682,88 @@ func adjacentOverlaps(segs []seg, minOverlap float64) map[couplingKey]float64 {
 				}
 			}
 		}
+		runStart = runEnd
 	}
-	return out
 }
 
 // Extract annotates the circuit's nets with parasitics derived from the
 // routed geometry. pinCap maps each sink pin to its capacitance (the
 // transistor-level gate input capacitance); poCap is the load of a
-// primary-output pad.
+// primary-output pad. The per-net scaled tree and Elmore buffers are
+// reused across nets, and the finished coupling lists are compacted
+// into one contiguous slab (netlist.CompactCouplings), so extraction
+// allocates O(coupling pairs) beyond the annotations it retains.
 func (l *Layout) Extract(proc device.Process, pinCap func(netlist.PinRef) float64, poCap float64) error {
 	c := l.Circuit
 	sp := l.Opts.Trace.Begin("extract", 0).Arg("nets", len(c.Nets))
 	defer sp.End()
 	// Wire R/C from lengths.
+	var scratch elmore.Tree
+	var delays, down []float64
 	for _, n := range c.Nets {
-		nt, ok := l.Trees[n.ID]
-		if !ok {
+		nt := l.Tree(n.ID)
+		if nt == nil {
 			continue
 		}
 		n.Par = netlist.Parasitics{
 			CWire:         proc.CwirePerLen * nt.WireLen,
 			RWire:         proc.RwirePerLen * nt.WireLen,
-			SinkWireDelay: make(map[netlist.PinRef]float64),
+			SinkWireDelay: make(map[netlist.PinRef]float64, len(nt.SinkRefs)),
 		}
 		// Scale the unit-length tree into a real RC tree: the tree was
 		// built with R = length; rebuild with process constants and pin
 		// caps, then read the Elmore delays.
-		scaled, sinkNodes, poNode, err := scaleTree(nt, proc, pinCap, poCap)
-		if err != nil {
+		if err := scaleTree(nt, &scratch, proc, pinCap, poCap); err != nil {
 			return fmt.Errorf("layout: net %s: %w", n.Name, err)
 		}
-		delays := scaled.Delays()
-		for pr, node := range sinkNodes {
-			n.Par.SinkWireDelay[pr] = delays[node]
+		delays, down = scratch.DelaysInto(delays, down)
+		for i, pr := range nt.SinkRefs {
+			n.Par.SinkWireDelay[pr] = delays[nt.SinkNodes[i]]
 		}
-		if poNode >= 0 {
-			n.Par.POWireDelay = delays[poNode]
+		if nt.PONode >= 0 {
+			n.Par.POWireDelay = delays[nt.PONode]
 		}
 	}
 	// Coupling caps from adjacency on both layers.
-	overlaps := adjacentOverlaps(l.hsegs, l.Opts.MinCouplingOverlap)
-	for k, ov := range adjacentOverlaps(l.vsegs, l.Opts.MinCouplingOverlap) {
-		overlaps[k] += ov
+	overlaps := make(map[couplingKey]float64)
+	adjacentOverlaps(l.hsegs, l.Opts.MinCouplingOverlap, overlaps)
+	adjacentOverlaps(l.vsegs, l.Opts.MinCouplingOverlap, overlaps)
+	// Deterministic pair order for every accumulation below.
+	pairs := make([]couplingKey, 0, len(overlaps))
+	for k := range overlaps {
+		pairs = append(pairs, k)
 	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
 	// Shielding normalization: a wire physically has at most one
 	// neighbor per side, so its total coupled run length cannot exceed
 	// twice its own length. Congestion fallbacks stack several segments
 	// on one track, which would otherwise multiply-count the same
 	// geometric adjacency; scale each net's overlaps down to the
 	// physical budget, symmetrically per pair.
-	totalOv := make(map[netlist.NetID]float64)
-	for k, ov := range overlaps {
-		totalOv[k.a] += ov
-		totalOv[k.b] += ov
+	totalOv := make([]float64, len(c.Nets))
+	for _, k := range pairs {
+		ov := overlaps[k]
+		totalOv[k.a-1] += ov
+		totalOv[k.b-1] += ov
 	}
 	scale := func(id netlist.NetID) float64 {
-		nt, ok := l.Trees[id]
-		if !ok || totalOv[id] == 0 {
+		nt := l.Tree(id)
+		if nt == nil || totalOv[id-1] == 0 {
 			return 1
 		}
 		budget := 2 * nt.WireLen
-		if totalOv[id] <= budget {
+		if totalOv[id-1] <= budget {
 			return 1
 		}
-		return budget / totalOv[id]
+		return budget / totalOv[id-1]
 	}
-	for k, ov := range overlaps {
+	for _, k := range pairs {
+		ov := overlaps[k]
 		s := math.Min(scale(k.a), scale(k.b))
 		cc := proc.CcouplePerLen * ov * s
 		na, nb := c.Net(k.a), c.Net(k.b)
@@ -623,15 +778,18 @@ func (l *Layout) Extract(proc device.Process, pinCap func(netlist.PinRef) float6
 			return n.Par.Couplings[i].Other < n.Par.Couplings[j].Other
 		})
 	}
+	// Re-point the finished per-net lists into one contiguous slab.
+	c.CompactCouplings()
 	return nil
 }
 
 // scaleTree converts a unit-length tree (edge R = meters) into a real
-// RC tree with process constants and terminal capacitances.
-func scaleTree(nt *NetTree, proc device.Process, pinCap func(netlist.PinRef) float64, poCap float64) (*elmore.Tree, map[netlist.PinRef]int, int, error) {
-	src := nt.Tree
+// RC tree with process constants and terminal capacitances, rebuilding
+// into the caller's reusable scratch tree.
+func scaleTree(nt *NetTree, out *elmore.Tree, proc device.Process, pinCap func(netlist.PinRef) float64, poCap float64) error {
+	src := &nt.Tree
 	n := src.NumNodes()
-	out := elmore.NewTree(0)
+	out.Reset(0)
 	// The source tree's node i>0 has parent p and edge "R" = length.
 	// Rebuild in index order (parents precede children by construction).
 	for i := 1; i < n; i++ {
@@ -644,23 +802,21 @@ func scaleTree(nt *NetTree, proc device.Process, pinCap func(netlist.PinRef) flo
 		cw := proc.CwirePerLen * length
 		// Distribute wire cap: half at each end.
 		if _, err := out.AddNode(parent, r, cw/2); err != nil {
-			return nil, nil, -1, err
+			return err
 		}
 		if err := out.AddCap(parent, cw/2); err != nil {
-			return nil, nil, -1, err
+			return err
 		}
 	}
-	sinkNodes := make(map[netlist.PinRef]int, len(nt.SinkNode))
-	for pr, node := range nt.SinkNode {
-		if err := out.AddCap(node, pinCap(pr)); err != nil {
-			return nil, nil, -1, err
+	for i, pr := range nt.SinkRefs {
+		if err := out.AddCap(int(nt.SinkNodes[i]), pinCap(pr)); err != nil {
+			return err
 		}
-		sinkNodes[pr] = node
 	}
 	if nt.PONode >= 0 {
-		if err := out.AddCap(nt.PONode, poCap); err != nil {
-			return nil, nil, -1, err
+		if err := out.AddCap(int(nt.PONode), poCap); err != nil {
+			return err
 		}
 	}
-	return out, sinkNodes, nt.PONode, nil
+	return nil
 }

@@ -54,7 +54,7 @@ func TestNoCellOverlapsInRow(t *testing.T) {
 	type span struct{ lo, hi float64 }
 	rows := make(map[int][]span)
 	for cid, p := range l.CellPos {
-		cell := c.Cell(cid)
+		cell := c.Cell(netlist.CellID(cid))
 		w := l.Opts.BaseCellWidth + float64(len(cell.In))*l.Opts.WidthPerPin
 		row := int(math.Round(p.Y / l.Opts.RowHeight))
 		rows[row] = append(rows[row], span{p.X, p.X + w})
@@ -77,8 +77,8 @@ func TestEveryLoadedNetRouted(t *testing.T) {
 		if len(n.Fanout) == 0 && !n.IsPO {
 			continue
 		}
-		nt, ok := l.Trees[n.ID]
-		if !ok {
+		nt := l.Tree(n.ID)
+		if nt == nil {
 			t.Errorf("net %s not routed", n.Name)
 			continue
 		}
@@ -86,7 +86,7 @@ func TestEveryLoadedNetRouted(t *testing.T) {
 			t.Errorf("net %s has zero wirelength", n.Name)
 		}
 		for _, pr := range n.Fanout {
-			if _, ok := nt.SinkNode[pr]; !ok {
+			if _, ok := nt.SinkNodeOf(pr); !ok {
 				t.Errorf("net %s missing sink node for %+v", n.Name, pr)
 			}
 		}
@@ -235,8 +235,8 @@ func TestCouplingShieldingBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, n := range c.Nets {
-		nt, ok := l.Trees[n.ID]
-		if !ok {
+		nt := l.Tree(n.ID)
+		if nt == nil {
 			continue
 		}
 		budget := 2 * nt.WireLen * proc.CcouplePerLen
@@ -254,7 +254,8 @@ func TestAdjacentOverlapsMath(t *testing.T) {
 		{net: 3, track: 2, lo: 0, hi: 3e-6},
 		{net: 4, track: 5, lo: 0, hi: 10e-6}, // isolated
 	}
-	ov := adjacentOverlaps(segs, 2e-6)
+	ov := make(map[couplingKey]float64)
+	adjacentOverlaps(segs, 2e-6, ov)
 	if got := ov[orderedKey(1, 2)]; math.Abs(got-6e-6) > 1e-12 {
 		t.Errorf("overlap(1,2) = %v, want 6µm", got)
 	}
@@ -269,7 +270,9 @@ func TestAdjacentOverlapsMath(t *testing.T) {
 		{net: 7, track: 0, lo: 0, hi: 10e-6},
 		{net: 7, track: 1, lo: 0, hi: 10e-6},
 	}
-	if ov2 := adjacentOverlaps(segs2, 2e-6); len(ov2) != 0 {
+	ov2 := make(map[couplingKey]float64)
+	adjacentOverlaps(segs2, 2e-6, ov2)
+	if len(ov2) != 0 {
 		t.Errorf("self coupling reported: %v", ov2)
 	}
 }
@@ -285,12 +288,12 @@ func TestClockNetRouted(t *testing.T) {
 		if cell.Kind != netlist.DFF || cell.Clock == netlist.NoNet {
 			continue
 		}
-		nt, ok := l.Trees[cell.Clock]
-		if !ok {
+		nt := l.Tree(cell.Clock)
+		if nt == nil {
 			t.Fatalf("clock net %s unrouted", c.Net(cell.Clock).Name)
 		}
 		pr := netlist.PinRef{Cell: cell.ID, Pin: ClockPin()}
-		if _, ok := nt.SinkNode[pr]; !ok {
+		if _, ok := nt.SinkNodeOf(pr); !ok {
 			t.Errorf("clock pin of %s missing from tree", cell.Name)
 		}
 	}

@@ -7,10 +7,21 @@ import (
 
 // NetID identifies a net within a Circuit. The zero value is invalid;
 // valid IDs are >= 1 so that forgotten assignments surface early.
-type NetID int
+//
+// IDs are dense 32-bit integers: they double as array indices in the
+// compiled SoA/CSR structures (core.Compiled, layout.Layout), where a
+// 64-bit id would double the footprint of every adjacency array at
+// million-net scale. AddNet enforces the width.
+type NetID int32
 
-// CellID identifies a cell within a Circuit.
-type CellID int
+// CellID identifies a cell within a Circuit. Dense and 32-bit for the
+// same reason as NetID; AddCell enforces the width.
+type CellID int32
+
+// maxIDs is the one-time width guard: a Circuit holds fewer than 2^31
+// nets and cells so that NetID/CellID arithmetic (ids, CSR offsets,
+// arena links) fits int32 everywhere downstream.
+const maxIDs = 1<<31 - 2
 
 // NoCell marks the absence of a driving cell (primary inputs).
 const NoCell CellID = -1
@@ -125,6 +136,9 @@ func (c *Circuit) AddNet(name string) NetID {
 	if id, ok := c.netByName[name]; ok {
 		return id
 	}
+	if len(c.Nets) >= maxIDs {
+		panic(fmt.Sprintf("netlist: net count exceeds the %d-id limit of the dense int32 layout", maxIDs))
+	}
 	id := NetID(len(c.Nets) + 1)
 	c.Nets = append(c.Nets, &Net{ID: id, Name: name, Driver: NoCell})
 	c.netByName[name] = id
@@ -174,6 +188,9 @@ func (c *Circuit) AddCell(name string, kind GateKind, in []NetID, out NetID) (Ce
 	}
 	if outNet.IsPI {
 		return 0, fmt.Errorf("netlist: net %s is a primary input and cannot be driven", outNet.Name)
+	}
+	if len(c.Cells) >= maxIDs {
+		return 0, fmt.Errorf("netlist: cell count exceeds the %d-id limit of the dense int32 layout", maxIDs)
 	}
 	id := CellID(len(c.Cells))
 	cell := &Cell{ID: id, Name: name, Kind: kind, In: append([]NetID(nil), in...), Out: out}

@@ -8,15 +8,30 @@ package netlist
 // while everything the editors never touch is shared with the original:
 // Cells, Fanout slices, SinkWireDelay maps, the PI/PO lists and the
 // name index (edits never add or rename nets).
+// The copies preserve the dense layout: all Net structs come from one
+// contiguous slab and all Couplings copies from a second one (each
+// subslice capacity-capped at its span so edit-time appends reallocate
+// that net's slice instead of stomping its neighbor), so a clone costs
+// two allocations instead of O(nets) and revision N+1 keeps revision
+// N's cache locality.
 func (c *Circuit) CloneForEdit() *Circuit {
 	nc := *c
+	total := 0
+	for _, n := range c.Nets {
+		total += len(n.Par.Couplings)
+	}
+	netSlab := make([]Net, len(c.Nets))
+	ccSlab := make([]Coupling, 0, total)
 	nc.Nets = make([]*Net, len(c.Nets))
 	for i, n := range c.Nets {
-		cn := *n
+		netSlab[i] = *n
+		cn := &netSlab[i]
 		if n.Par.Couplings != nil {
-			cn.Par.Couplings = append([]Coupling(nil), n.Par.Couplings...)
+			lo := len(ccSlab)
+			ccSlab = append(ccSlab, n.Par.Couplings...)
+			cn.Par.Couplings = ccSlab[lo:len(ccSlab):len(ccSlab)]
 		}
-		nc.Nets[i] = &cn
+		nc.Nets[i] = cn
 	}
 	return &nc
 }

@@ -166,7 +166,11 @@ func Read(r io.Reader, c *netlist.Circuit) error {
 	if !sawHeader {
 		return fmt.Errorf("spef: missing *SPEF header")
 	}
-	return ValidateSymmetry(c)
+	if err := ValidateSymmetry(c); err != nil {
+		return err
+	}
+	c.CompactCouplings()
+	return nil
 }
 
 // ValidateSymmetry checks that every coupling has a matching reverse

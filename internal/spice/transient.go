@@ -114,10 +114,10 @@ type TranOptions struct {
 	MinSettleTime float64
 
 	// Proto, when non-nil and structurally matching the circuit, lets
-	// StartTransient reuse a precompiled unknown numbering, stamp
-	// references and bandwidth instead of re-deriving them (see
-	// CompileProto). Purely an optimization: a non-matching prototype is
-	// ignored, and the fixed-grid Transient never consults it.
+	// StartTransient and Transient reuse a precompiled unknown
+	// numbering, stamp references and bandwidth instead of re-deriving
+	// them (see CompileProto). Purely an optimization: a non-matching
+	// prototype is ignored.
 	Proto *StampProto
 }
 
@@ -522,54 +522,11 @@ func (tr *tranRun) bandwidth() int {
 	return bw
 }
 
-// newRun builds the per-run state and unknown numbering.
-func (c *Circuit) newRun(opts TranOptions) (*tranRun, error) {
-	tr := &tranRun{
-		ckt:      c,
-		opts:     opts,
-		unkIdx:   make([]int, len(c.nodeNames)),
-		capIPrev: make([]float64, len(c.capacitors)),
-		nBranch:  len(c.vsources),
-	}
-	tr.drivenSrc = make([]Source, len(c.nodeNames))
-	tr.drivenNow = make([]float64, len(c.nodeNames))
-	idx := 0
-	tr.unkIdx[Ground] = -1
-	for id := 1; id < len(c.nodeNames); id++ {
-		if src, ok := c.driven[NodeID(id)]; ok {
-			tr.unkIdx[id] = -1
-			tr.drivenSrc[id] = src
-			tr.drivenIDs = append(tr.drivenIDs, NodeID(id))
-			continue
-		}
-		tr.unkIdx[id] = idx
-		idx++
-	}
-	tr.nFree = idx
-	nUnk := tr.nFree + tr.nBranch
-	if nUnk == 0 {
-		return nil, fmt.Errorf("spice: circuit has no unknowns (empty or fully driven)")
-	}
-	tr.x = make([]float64, nUnk)
-	tr.xPrev = make([]float64, nUnk)
-	tr.drivenPrev = make([]float64, len(c.nodeNames))
-	tr.resS = make([]resStamp, len(c.resistors))
-	tr.capS = make([]capStamp, len(c.capacitors))
-	tr.mosS = make([]mosStamp, len(c.mosfets))
-	tr.capGeq = make([]float64, len(c.capacitors))
-	tr.capHist = make([]float64, len(c.capacitors))
-	tr.compileStamps()
-	for n, v := range opts.InitialV {
-		if n != Ground {
-			if i := tr.unkIdx[n]; i >= 0 {
-				tr.x[i] = v
-			}
-		}
-	}
-	return tr, nil
-}
-
 // Transient runs a transient analysis and returns the recorded traces.
+// Solver scratch (unknown numbering, stamp tables, Newton driver, LU
+// workspace) comes from the shared workspace pool and is returned when
+// the run finishes; only the Result and its traces are allocated per
+// call.
 func (c *Circuit) Transient(opts TranOptions) (*Result, error) {
 	if opts.TStop <= 0 {
 		return nil, fmt.Errorf("spice: TStop must be positive, got %g", opts.TStop)
@@ -589,7 +546,9 @@ func (c *Circuit) Transient(opts TranOptions) (*Result, error) {
 		}
 	}
 
-	tr, err := c.newRun(opts)
+	ws := tranPool.Get().(*tranWorkspace)
+	defer tranPool.Put(ws)
+	tr, err := c.newRunWS(opts, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -608,12 +567,28 @@ func (c *Circuit) Transient(opts TranOptions) (*Result, error) {
 	}
 	banded := false
 	if !opts.ForceDense {
-		if bw := tr.bandwidth(); nUnk >= 40 && bw <= 16 {
-			nwOpts.Linear = solver.NewBandedLU(nUnk, bw)
+		bw := 0
+		if tr.proto != nil {
+			bw = tr.proto.bw
+		} else {
+			bw = tr.bandwidth()
+		}
+		if nUnk >= 40 && bw <= 16 {
+			if ws.banded == nil {
+				ws.banded = solver.NewBandedLU(nUnk, bw)
+			} else {
+				ws.banded.Reset(nUnk, bw)
+			}
+			nwOpts.Linear = ws.banded
 			banded = true
 		}
 	}
-	nw := solver.NewNewton(nUnk, nwOpts)
+	if ws.nw == nil {
+		ws.nw = solver.NewNewton(nUnk, nwOpts)
+	} else {
+		ws.nw.Reconfigure(nUnk, nwOpts)
+	}
+	nw := ws.nw
 
 	totalIters, retries := 0, 0
 
@@ -743,14 +718,21 @@ func (c *Circuit) Transient(opts TranOptions) (*Result, error) {
 // sources at t = 0) and returns the node voltages by NodeID (including
 // driven nodes at their t=0 values).
 func (c *Circuit) OperatingPoint(initial map[NodeID]float64) (map[NodeID]float64, error) {
-	tr, err := c.newRun(TranOptions{Gmin: 1e-12, InitialV: initial})
+	ws := tranPool.Get().(*tranWorkspace)
+	defer tranPool.Put(ws)
+	tr, err := c.newRunWS(TranOptions{Gmin: 1e-12, InitialV: initial}, ws)
 	if err != nil {
 		return nil, err
 	}
 	tr.dcMode = true
 	nUnk := tr.nFree + tr.nBranch
-	nw := solver.NewNewton(nUnk, solver.NewtonOptions{MaxIter: 200, TolX: 1e-9, TolF: 5e-8, MaxStep: 0.4})
-	if _, err := nw.Solve(tr, tr.x); err != nil {
+	nwOpts := solver.NewtonOptions{MaxIter: 200, TolX: 1e-9, TolF: 5e-8, MaxStep: 0.4}
+	if ws.nw == nil {
+		ws.nw = solver.NewNewton(nUnk, nwOpts)
+	} else {
+		ws.nw.Reconfigure(nUnk, nwOpts)
+	}
+	if _, err := ws.nw.Solve(tr, tr.x); err != nil {
 		return nil, fmt.Errorf("spice: operating point: %w", err)
 	}
 	out := make(map[NodeID]float64, len(c.nodeNames)-1)
